@@ -1,0 +1,101 @@
+#ifndef SGR_BENCH_BENCH_COMMON_H_
+#define SGR_BENCH_BENCH_COMMON_H_
+
+#include <cstddef>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/properties.h"
+#include "analysis/summary.h"
+#include "exp/datasets.h"
+#include "exp/runner.h"
+#include "exp/table_printer.h"
+#include "graph/graph.h"
+#include "restore/method.h"
+#include "util/timer.h"
+
+namespace sgr::bench {
+
+/// Environment-tunable knobs shared by every experiment binary.
+///
+///   SGR_RUNS          runs per (dataset, method) cell
+///   SGR_RC            rewiring coefficient RC (paper: 500)
+///   SGR_FRACTION      queried-node fraction for the table benches
+///   SGR_PATH_SOURCES  BFS/Brandes sources for path properties
+///                     (0 = exact all-pairs)
+///   SGR_DATASET_SCALE dataset size multiplier (see exp/datasets.h)
+///   SGR_DATASET_DIR   directory with real edge lists (optional)
+struct BenchConfig {
+  std::size_t runs;
+  double rc;
+  double fraction;
+  std::size_t path_sources;
+
+  static BenchConfig FromEnv(std::size_t default_runs, double default_rc,
+                             double default_fraction = 0.10,
+                             std::size_t default_sources = 600) {
+    BenchConfig c;
+    c.runs = static_cast<std::size_t>(
+        EnvOr("SGR_RUNS", static_cast<double>(default_runs)));
+    c.rc = EnvOr("SGR_RC", default_rc);
+    c.fraction = EnvOr("SGR_FRACTION", default_fraction);
+    c.path_sources = static_cast<std::size_t>(
+        EnvOr("SGR_PATH_SOURCES", static_cast<double>(default_sources)));
+    return c;
+  }
+
+  ExperimentConfig ToExperimentConfig() const {
+    ExperimentConfig config;
+    config.query_fraction = fraction;
+    config.restoration.rewire.rewiring_coefficient = rc;
+    config.property_options.max_path_sources = path_sources;
+    return config;
+  }
+};
+
+/// Aggregate of one (dataset, method) cell across runs.
+struct MethodAggregate {
+  DistanceAccumulator distances;
+  double total_seconds = 0.0;
+  double rewiring_seconds = 0.0;
+};
+
+/// Runs `config.runs` experiment repetitions on `dataset` and accumulates
+/// per-method distance and timing statistics. Seeds are derived from
+/// `seed_base` so every binary is reproducible.
+inline std::map<MethodKind, MethodAggregate> RunDataset(
+    const Graph& dataset, const GraphProperties& properties,
+    const ExperimentConfig& experiment, std::size_t runs,
+    std::uint64_t seed_base) {
+  std::map<MethodKind, MethodAggregate> aggregate;
+  for (std::size_t run = 0; run < runs; ++run) {
+    const auto results =
+        RunExperiment(dataset, properties, experiment, seed_base + run);
+    for (const MethodRunResult& r : results) {
+      MethodAggregate& agg = aggregate[r.kind];
+      agg.distances.Add(r.distances);
+      agg.total_seconds += r.restoration.total_seconds;
+      agg.rewiring_seconds += r.restoration.rewiring_seconds;
+    }
+  }
+  for (auto& [kind, agg] : aggregate) {
+    (void)kind;
+    agg.total_seconds /= static_cast<double>(runs);
+    agg.rewiring_seconds /= static_cast<double>(runs);
+  }
+  return aggregate;
+}
+
+/// Prints the standard bench banner with the dataset's actual size next to
+/// the paper's Table I reference size.
+inline void PrintDatasetBanner(const DatasetSpec& spec, const Graph& g) {
+  std::cout << "## dataset " << spec.name << ": n = " << g.NumNodes()
+            << ", m = " << g.NumEdges() << "  (paper: n = "
+            << spec.paper_nodes << ", m = " << spec.paper_edges << ")\n";
+}
+
+}  // namespace sgr::bench
+
+#endif  // SGR_BENCH_BENCH_COMMON_H_

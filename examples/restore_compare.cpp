@@ -1,0 +1,63 @@
+// restore_compare: the paper's evaluation in miniature.
+//
+// Runs all six methods (BFS / snowball / forest-fire / RW subgraph
+// sampling, Gjoka et al., proposed) on one dataset and prints the
+// per-property L1 distances side by side — the workflow behind Tables II
+// and III. Useful as a template for evaluating the methods on your own
+// graphs.
+//
+// Usage: ./build/examples/restore_compare [dataset_name] [fraction]
+//   dataset_name: anybeat | brightkite | epinions | slashdot | gowalla |
+//                 livemocha | youtube (default: anybeat)
+//   fraction:     queried-node fraction in (0, 1] (default: 0.1)
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "analysis/l1.h"
+#include "exp/datasets.h"
+#include "exp/runner.h"
+#include "exp/table_printer.h"
+
+int main(int argc, char** argv) {
+  using namespace sgr;
+
+  const std::string name = argc > 1 ? argv[1] : "anybeat";
+  const double fraction = argc > 2 ? std::atof(argv[2]) : 0.1;
+
+  const DatasetSpec spec = DatasetByName(name);
+  const Graph dataset = LoadDataset(spec);
+  std::cout << "dataset " << spec.name << ": n = " << dataset.NumNodes()
+            << ", m = " << dataset.NumEdges() << ", querying "
+            << 100.0 * fraction << "% of nodes\n\n";
+
+  ExperimentConfig config;
+  config.query_fraction = fraction;
+  config.restoration.rewire.rewiring_coefficient = 100.0;
+  config.property_options.max_path_sources = 500;
+
+  const GraphProperties properties =
+      ComputeProperties(dataset, config.property_options);
+  const auto results = RunExperiment(dataset, properties, config, 2022);
+
+  std::vector<std::string> headers = {"Method"};
+  for (const auto& prop : PropertyNames()) headers.push_back(prop);
+  headers.push_back("AVG");
+  TablePrinter table(std::cout, headers);
+  for (const MethodRunResult& r : results) {
+    std::vector<std::string> row = {MethodName(r.kind)};
+    for (double d : r.distances) row.push_back(TablePrinter::Fixed(d));
+    row.push_back(TablePrinter::Fixed(r.average_distance));
+    table.AddRow(std::move(row));
+  }
+  table.Print();
+
+  std::cout << "\nReading the table: lower is better. Subgraph sampling "
+               "(first four rows) is biased toward the dense core — watch "
+               "the n column. The generative methods fix the local "
+               "properties; the proposed method additionally preserves the "
+               "sampled subgraph, which shows up in c(k), P(s) and the "
+               "global columns.\n";
+  return 0;
+}

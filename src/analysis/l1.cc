@@ -1,0 +1,81 @@
+#include "analysis/l1.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace sgr {
+
+const std::array<std::string, kNumProperties>& PropertyNames() {
+  static const std::array<std::string, kNumProperties> kNames = {
+      "n",    "k_avg", "P(k)", "knn(k)", "c_avg", "c(k)",
+      "P(s)", "l_avg", "P(l)", "l_max",  "b(k)",  "lambda1"};
+  return kNames;
+}
+
+double NormalizedL1(const std::vector<double>& original,
+                    const std::vector<double>& generated) {
+  const std::size_t size = std::max(original.size(), generated.size());
+  double numerator = 0.0;
+  double denominator = 0.0;
+  for (std::size_t i = 0; i < size; ++i) {
+    const double x = i < original.size() ? original[i] : 0.0;
+    const double y = i < generated.size() ? generated[i] : 0.0;
+    numerator += std::abs(y - x);
+    denominator += x;
+  }
+  if (denominator == 0.0) {
+    return numerator == 0.0 ? 0.0
+                            : std::numeric_limits<double>::infinity();
+  }
+  return numerator / denominator;
+}
+
+double NormalizedL1(double original, double generated) {
+  if (original == 0.0) {
+    return generated == 0.0 ? 0.0
+                            : std::numeric_limits<double>::infinity();
+  }
+  return std::abs(generated - original) / std::abs(original);
+}
+
+std::array<double, kNumProperties> PropertyDistances(
+    const GraphProperties& original, const GraphProperties& generated) {
+  return {
+      NormalizedL1(static_cast<double>(original.num_nodes),
+                   static_cast<double>(generated.num_nodes)),
+      NormalizedL1(original.average_degree, generated.average_degree),
+      NormalizedL1(original.degree_dist, generated.degree_dist),
+      NormalizedL1(original.neighbor_connectivity,
+                   generated.neighbor_connectivity),
+      NormalizedL1(original.clustering_global, generated.clustering_global),
+      NormalizedL1(original.clustering_by_degree,
+                   generated.clustering_by_degree),
+      NormalizedL1(original.esp_dist, generated.esp_dist),
+      NormalizedL1(original.average_path_length,
+                   generated.average_path_length),
+      NormalizedL1(original.path_length_dist, generated.path_length_dist),
+      NormalizedL1(static_cast<double>(original.diameter),
+                   static_cast<double>(generated.diameter)),
+      NormalizedL1(original.betweenness_by_degree,
+                   generated.betweenness_by_degree),
+      NormalizedL1(original.largest_eigenvalue,
+                   generated.largest_eigenvalue),
+  };
+}
+
+double AverageDistance(const std::array<double, kNumProperties>& distances) {
+  double total = 0.0;
+  for (double d : distances) total += d;
+  return total / static_cast<double>(kNumProperties);
+}
+
+double DistanceStandardDeviation(
+    const std::array<double, kNumProperties>& distances) {
+  const double mean = AverageDistance(distances);
+  double ss = 0.0;
+  for (double d : distances) ss += (d - mean) * (d - mean);
+  return std::sqrt(ss / static_cast<double>(kNumProperties));
+}
+
+}  // namespace sgr

@@ -1,0 +1,44 @@
+#ifndef SGR_ANALYSIS_L1_H_
+#define SGR_ANALYSIS_L1_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "analysis/properties.h"
+
+namespace sgr {
+
+/// Number of structural properties compared in the evaluation (Section V-B).
+inline constexpr std::size_t kNumProperties = 12;
+
+/// Property names in the paper's column order (Table II / Table V).
+const std::array<std::string, kNumProperties>& PropertyNames();
+
+/// Normalized L1 distance Σ_i |x̃_i − x_i| / Σ_i x_i between an original
+/// property vector `original` and a generated one `generated`
+/// (zero-padded to a common length). For an all-zero original vector the
+/// distance is 0 if the generated vector is also all-zero and +infinity
+/// otherwise (Section V-C).
+double NormalizedL1(const std::vector<double>& original,
+                    const std::vector<double>& generated);
+
+/// Scalar case: |x̃ − x| / x, the relative error.
+double NormalizedL1(double original, double generated);
+
+/// L1 distances of the 12 properties between two property bundles, in the
+/// order of PropertyNames().
+std::array<double, kNumProperties> PropertyDistances(
+    const GraphProperties& original, const GraphProperties& generated);
+
+/// Mean of the 12 distances (the paper's headline "average L1 distance").
+double AverageDistance(const std::array<double, kNumProperties>& distances);
+
+/// Population standard deviation of the 12 distances (Table III/V report
+/// avg ± SD over properties).
+double DistanceStandardDeviation(
+    const std::array<double, kNumProperties>& distances);
+
+}  // namespace sgr
+
+#endif  // SGR_ANALYSIS_L1_H_

@@ -1,0 +1,28 @@
+#include "analysis/summary.h"
+
+namespace sgr {
+
+void DistanceAccumulator::Add(
+    const std::array<double, kNumProperties>& distances) {
+  for (std::size_t i = 0; i < kNumProperties; ++i) {
+    sum_per_property_[i] += distances[i];
+  }
+  sum_average_ += AverageDistance(distances);
+  sum_sd_ += DistanceStandardDeviation(distances);
+  ++runs_;
+}
+
+DistanceSummary DistanceAccumulator::Summarize() const {
+  DistanceSummary summary;
+  summary.runs = runs_;
+  if (runs_ == 0) return summary;
+  const double inv = 1.0 / static_cast<double>(runs_);
+  for (std::size_t i = 0; i < kNumProperties; ++i) {
+    summary.mean_per_property[i] = sum_per_property_[i] * inv;
+  }
+  summary.mean_average = sum_average_ * inv;
+  summary.mean_sd = sum_sd_ * inv;
+  return summary;
+}
+
+}  // namespace sgr

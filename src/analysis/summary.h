@@ -1,0 +1,47 @@
+#ifndef SGR_ANALYSIS_SUMMARY_H_
+#define SGR_ANALYSIS_SUMMARY_H_
+
+#include <array>
+#include <cstddef>
+
+#include "analysis/l1.h"
+
+namespace sgr {
+
+/// Aggregated distance statistics over repeated runs: the evaluation
+/// section reports all results as an average over 10 runs (5 for YouTube).
+struct DistanceSummary {
+  /// Mean of each property's L1 distance over the runs.
+  std::array<double, kNumProperties> mean_per_property{};
+
+  /// Mean over runs of the per-run average L1 distance (Fig. 3 y-axis,
+  /// Table III "average").
+  double mean_average = 0.0;
+
+  /// Mean over runs of the per-run standard deviation across the 12
+  /// properties (Table III "± SD").
+  double mean_sd = 0.0;
+
+  /// Number of runs accumulated.
+  std::size_t runs = 0;
+};
+
+/// Accumulates per-run distance arrays into a DistanceSummary.
+class DistanceAccumulator {
+ public:
+  /// Adds one run's 12 distances.
+  void Add(const std::array<double, kNumProperties>& distances);
+
+  /// Current aggregate (valid after at least one Add).
+  DistanceSummary Summarize() const;
+
+ private:
+  std::array<double, kNumProperties> sum_per_property_{};
+  double sum_average_ = 0.0;
+  double sum_sd_ = 0.0;
+  std::size_t runs_ = 0;
+};
+
+}  // namespace sgr
+
+#endif  // SGR_ANALYSIS_SUMMARY_H_

@@ -1,0 +1,45 @@
+#ifndef SGR_DK_DEGREE_VECTOR_H_
+#define SGR_DK_DEGREE_VECTOR_H_
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace sgr {
+
+/// Degree vector {n(k)}_k: entry k holds the number of nodes with degree k
+/// (index 0 unused for connected graphs). This is the 1K statistic of the
+/// dK-series (Section III-C); preserving n, k̄ and {P(k)}_k is equivalent to
+/// preserving this vector.
+using DegreeVector = std::vector<std::int64_t>;
+
+/// Σ_k n(k): total number of nodes described by the vector.
+inline std::int64_t DegreeVectorNodes(const DegreeVector& dv) {
+  return std::accumulate(dv.begin(), dv.end(), std::int64_t{0});
+}
+
+/// Σ_k k·n(k): total degree (twice the edge count for a realizable vector).
+inline std::int64_t DegreeVectorTotalDegree(const DegreeVector& dv) {
+  std::int64_t total = 0;
+  for (std::size_t k = 0; k < dv.size(); ++k) {
+    total += static_cast<std::int64_t>(k) * dv[k];
+  }
+  return total;
+}
+
+/// Realization condition DV-1: every entry non-negative.
+inline bool SatisfiesDv1(const DegreeVector& dv) {
+  for (std::int64_t c : dv) {
+    if (c < 0) return false;
+  }
+  return true;
+}
+
+/// Realization condition DV-2: the degree sum is even.
+inline bool SatisfiesDv2(const DegreeVector& dv) {
+  return DegreeVectorTotalDegree(dv) % 2 == 0;
+}
+
+}  // namespace sgr
+
+#endif  // SGR_DK_DEGREE_VECTOR_H_

@@ -1,0 +1,161 @@
+#include "dk/dk_construct.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace sgr {
+
+JointDegreeMatrix SubgraphClassEdges(
+    const Graph& base,
+    const std::vector<std::uint32_t>& base_target_degrees) {
+  JointDegreeMatrix m_prime;
+  for (const Edge& e : base.edges()) {
+    m_prime.AddSymmetric(base_target_degrees[e.u], base_target_degrees[e.v],
+                         1);
+  }
+  return m_prime;
+}
+
+Graph ConstructPreservingTargets(
+    const Graph& base, const std::vector<std::uint32_t>& base_target_degrees,
+    const DegreeVector& n_star, const JointDegreeMatrix& m_star, Rng& rng) {
+  if (base_target_degrees.size() != base.NumNodes()) {
+    throw std::logic_error(
+        "ConstructPreservingTargets: one target degree per base node "
+        "required");
+  }
+  const std::size_t k_max = n_star.empty() ? 0 : n_star.size() - 1;
+
+  // n'(k): base nodes per target-degree class.
+  DegreeVector n_prime(n_star.size(), 0);
+  for (std::uint32_t d : base_target_degrees) {
+    if (d > k_max) {
+      throw std::logic_error(
+          "ConstructPreservingTargets: base target degree exceeds k*_max");
+    }
+    ++n_prime[d];
+  }
+
+  Graph result = base;
+  const std::int64_t total_nodes = DegreeVectorNodes(n_star);
+  const auto base_nodes = static_cast<std::int64_t>(base.NumNodes());
+  if (total_nodes < base_nodes) {
+    throw std::logic_error(
+        "ConstructPreservingTargets: target node count below subgraph size "
+        "(DV-3 violated)");
+  }
+
+  // Degree sequence for the added nodes: degree k appears n*(k) - n'(k)
+  // times (Algorithm 5, lines 2-8).
+  std::vector<std::uint32_t> added_degrees;
+  added_degrees.reserve(static_cast<std::size_t>(total_nodes - base_nodes));
+  for (std::size_t k = 0; k < n_star.size(); ++k) {
+    const std::int64_t need = n_star[k] - n_prime[k];
+    if (need < 0) {
+      throw std::logic_error(
+          "ConstructPreservingTargets: DV-3 violated at degree " +
+          std::to_string(k));
+    }
+    for (std::int64_t c = 0; c < need; ++c) {
+      added_degrees.push_back(static_cast<std::uint32_t>(k));
+    }
+  }
+  std::shuffle(added_degrees.begin(), added_degrees.end(), rng.engine());
+
+  // Attach half-edges (stubs): d*_i - d'_i per base node, d*_i per added
+  // node, pooled by target degree (lines 9-12).
+  std::vector<std::vector<NodeId>> stubs(n_star.size());
+  for (NodeId v = 0; v < base.NumNodes(); ++v) {
+    const std::uint32_t target = base_target_degrees[v];
+    const std::size_t have = base.Degree(v);
+    if (have > target) {
+      throw std::logic_error(
+          "ConstructPreservingTargets: base degree exceeds target degree");
+    }
+    for (std::size_t s = have; s < target; ++s) stubs[target].push_back(v);
+  }
+  for (std::uint32_t d : added_degrees) {
+    const NodeId v = result.AddNode();
+    for (std::uint32_t s = 0; s < d; ++s) stubs[d].push_back(v);
+  }
+
+  // Wire free half-edges class pair by class pair (lines 13-16).
+  const JointDegreeMatrix m_prime =
+      SubgraphClassEdges(base, base_target_degrees);
+  auto pop_random = [&rng](std::vector<NodeId>& pool) {
+    const std::size_t idx = rng.NextIndex(pool.size());
+    const NodeId v = pool[idx];
+    pool[idx] = pool.back();
+    pool.pop_back();
+    return v;
+  };
+  for (std::uint32_t k = 1; k <= k_max; ++k) {
+    for (std::uint32_t kp = k; kp <= k_max; ++kp) {
+      const std::int64_t need = m_star.At(k, kp) - m_prime.At(k, kp);
+      if (need < 0) {
+        throw std::logic_error(
+            "ConstructPreservingTargets: JDM-4 violated at (" +
+            std::to_string(k) + "," + std::to_string(kp) + ")");
+      }
+      for (std::int64_t c = 0; c < need; ++c) {
+        if (stubs[k].empty() || stubs[kp].empty() ||
+            (k == kp && stubs[k].size() < 2)) {
+          throw std::logic_error(
+              "ConstructPreservingTargets: stub pool exhausted (JDM-3 "
+              "violated)");
+        }
+        const NodeId a = pop_random(stubs[k]);
+        const NodeId b = pop_random(stubs[kp]);
+        result.AddEdge(a, b);
+      }
+    }
+  }
+  for (std::uint32_t k = 0; k <= k_max; ++k) {
+    if (!stubs[k].empty()) {
+      throw std::logic_error(
+          "ConstructPreservingTargets: leftover free half-edges at degree " +
+          std::to_string(k) + " (JDM-3 violated)");
+    }
+  }
+  return result;
+}
+
+Graph Construct2kGraph(const DegreeVector& n_star,
+                       const JointDegreeMatrix& m_star, Rng& rng) {
+  return ConstructPreservingTargets(Graph(), {}, n_star, m_star, rng);
+}
+
+Graph Construct1kGraph(const DegreeVector& n_star, Rng& rng) {
+  if (DegreeVectorTotalDegree(n_star) % 2 != 0) {
+    throw std::logic_error("Construct1kGraph: odd degree sum (DV-2)");
+  }
+  Graph g(static_cast<std::size_t>(DegreeVectorNodes(n_star)));
+  std::vector<NodeId> stubs;
+  stubs.reserve(
+      static_cast<std::size_t>(DegreeVectorTotalDegree(n_star)));
+  NodeId next = 0;
+  for (std::size_t k = 0; k < n_star.size(); ++k) {
+    for (std::int64_t c = 0; c < n_star[k]; ++c) {
+      for (std::size_t s = 0; s < k; ++s) stubs.push_back(next);
+      ++next;
+    }
+  }
+  std::shuffle(stubs.begin(), stubs.end(), rng.engine());
+  for (std::size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    g.AddEdge(stubs[i], stubs[i + 1]);
+  }
+  return g;
+}
+
+Graph Construct0kGraph(std::size_t num_nodes, std::size_t num_edges,
+                       Rng& rng) {
+  Graph g(num_nodes);
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    g.AddEdge(static_cast<NodeId>(rng.NextIndex(num_nodes)),
+              static_cast<NodeId>(rng.NextIndex(num_nodes)));
+  }
+  return g;
+}
+
+}  // namespace sgr

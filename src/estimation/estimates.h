@@ -1,0 +1,121 @@
+#ifndef SGR_ESTIMATION_ESTIMATES_H_
+#define SGR_ESTIMATION_ESTIMATES_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace sgr {
+
+/// Packs an ordered degree pair (k, k') into a 64-bit map key.
+inline std::uint64_t DegreePairKey(std::uint32_t k, std::uint32_t k_prime) {
+  return (static_cast<std::uint64_t>(k) << 32) | k_prime;
+}
+
+/// Symmetric sparse matrix over degree pairs with double values, used for
+/// the estimated joint degree distribution P̂(k, k'). Both (k, k') and
+/// (k', k) orderings are stored so lookups are O(1) either way.
+class SparseJointDist {
+ public:
+  /// Returns P̂(k, k') (0 when absent).
+  double At(std::uint32_t k, std::uint32_t k_prime) const {
+    auto it = values_.find(DegreePairKey(k, k_prime));
+    return it == values_.end() ? 0.0 : it->second;
+  }
+
+  /// Sets P̂(k, k') = P̂(k', k) = value.
+  void SetSymmetric(std::uint32_t k, std::uint32_t k_prime, double value) {
+    values_[DegreePairKey(k, k_prime)] = value;
+    values_[DegreePairKey(k_prime, k)] = value;
+  }
+
+  /// Adds `delta` to both orderings (single entry when k == k').
+  void AddSymmetric(std::uint32_t k, std::uint32_t k_prime, double delta) {
+    values_[DegreePairKey(k, k_prime)] += delta;
+    if (k != k_prime) values_[DegreePairKey(k_prime, k)] += delta;
+  }
+
+  /// Raw storage: key -> value, both orderings present.
+  const std::unordered_map<std::uint64_t, double>& values() const {
+    return values_;
+  }
+
+  /// Σ_k Σ_k' P̂(k, k') over all ordered pairs: equals 1 for a normalized
+  /// joint degree distribution (Eq. (3): the µ factor makes the full
+  /// double sum — not the unordered one — normalize to 1).
+  double TotalMass() const {
+    double total = 0.0;
+    for (const auto& [key, value] : values_) {
+      (void)key;
+      total += value;
+    }
+    return total;
+  }
+
+ private:
+  std::unordered_map<std::uint64_t, double> values_;
+};
+
+/// Estimates of the five local structural properties obtained by
+/// re-weighted random walk (Section III-E). These are the inputs of both
+/// the proposed method and the Gjoka et al. baseline.
+struct LocalEstimates {
+  /// Estimated number of nodes n̂ (collision estimator).
+  double num_nodes = 0.0;
+
+  /// Estimated average degree k̂̄ = 1 / Φ̄.
+  double average_degree = 0.0;
+
+  /// Estimated degree distribution: degree_dist[k] = P̂(k),
+  /// k in [0, degree_dist.size()). Entry 0 is always 0 (graphs are
+  /// connected, so no isolated nodes are sampled).
+  std::vector<double> degree_dist;
+
+  /// Estimated joint degree distribution P̂(k, k') (hybrid IE/TE).
+  SparseJointDist joint_dist;
+
+  /// Estimated degree-dependent clustering coefficient:
+  /// clustering[k] = ĉ̄(k); ĉ̄(1) = 0 by definition.
+  std::vector<double> clustering;
+
+  /// Largest degree with P̂(k) > 0.
+  std::uint32_t MaxDegreeWithMass() const {
+    for (std::size_t k = degree_dist.size(); k > 0; --k) {
+      if (degree_dist[k - 1] > 0.0) return static_cast<std::uint32_t>(k - 1);
+    }
+    return 0;
+  }
+
+  /// Immediate (pre-rounding) estimate n̂(k) = n̂ · P̂(k) of the number of
+  /// nodes with degree k (Section IV-B).
+  double EstimatedNodeCount(std::uint32_t k) const {
+    if (k >= degree_dist.size()) return 0.0;
+    return num_nodes * degree_dist[k];
+  }
+
+  /// Immediate estimate m̂(k, k') = n̂ k̂̄ P̂(k, k') / µ(k, k') of the number
+  /// of edges between degree classes (Section IV-C).
+  double EstimatedEdgeCount(std::uint32_t k, std::uint32_t k_prime) const {
+    const double mu = (k == k_prime) ? 2.0 : 1.0;
+    return num_nodes * average_degree * joint_dist.At(k, k_prime) / mu;
+  }
+
+  /// Estimated network clustering coefficient ĉ̄ = Σ_k P̂(k) ĉ̄(k): the
+  /// degree-distribution-weighted mean of the per-class estimates, matching
+  /// the definition c̄ = (1/n) Σ_i 2 t_i / (d_i (d_i − 1)) grouped by
+  /// degree (property (5) of Section V-B).
+  double EstimatedGlobalClustering() const {
+    double total = 0.0;
+    const std::size_t size =
+        std::min(degree_dist.size(), clustering.size());
+    for (std::size_t k = 2; k < size; ++k) {
+      total += degree_dist[k] * clustering[k];
+    }
+    return total;
+  }
+};
+
+}  // namespace sgr
+
+#endif  // SGR_ESTIMATION_ESTIMATES_H_

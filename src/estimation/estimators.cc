@@ -1,0 +1,269 @@
+#include "estimation/estimators.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace sgr {
+
+namespace {
+
+/// Lag threshold M = max(1, round(fraction * r)).
+std::size_t LagThreshold(std::size_t r, double fraction) {
+  const auto rounded = static_cast<std::size_t>(
+      std::llround(fraction * static_cast<double>(r)));
+  return std::max<std::size_t>(1, rounded);
+}
+
+/// Positions of each node in the walk, sorted ascending.
+std::unordered_map<NodeId, std::vector<std::size_t>> PositionsByNode(
+    const std::vector<NodeId>& walk) {
+  std::unordered_map<NodeId, std::vector<std::size_t>> positions;
+  for (std::size_t i = 0; i < walk.size(); ++i) {
+    positions[walk[i]].push_back(i);
+  }
+  return positions;
+}
+
+/// Number of ordered index pairs (i, j), i != j, with |i - j| >= M.
+double CountOrderedPairs(std::size_t r, std::size_t m) {
+  // Ordered pairs with |i-j| >= M: for each lag d in [M, r-1] there are
+  // (r - d) unordered pairs, times 2 orientations.
+  double total = 0.0;
+  for (std::size_t d = m; d < r; ++d) {
+    total += 2.0 * static_cast<double>(r - d);
+  }
+  return total;
+}
+
+/// Number of positions of `positions` inside the open window
+/// (center - M, center + M); `positions` must be sorted.
+std::size_t CountWithinWindow(const std::vector<std::size_t>& positions,
+                              std::size_t center, std::size_t m) {
+  const std::size_t lo = center >= m - 1 ? center - (m - 1) : 0;
+  const std::size_t hi = center + (m - 1);  // inclusive
+  auto first = std::lower_bound(positions.begin(), positions.end(), lo);
+  auto last = std::upper_bound(positions.begin(), positions.end(), hi);
+  return static_cast<std::size_t>(last - first);
+}
+
+}  // namespace
+
+double EstimateAverageDegree(const SamplingList& list) {
+  assert(list.is_walk);
+  double inv_sum = 0.0;
+  for (NodeId v : list.visit_sequence) {
+    inv_sum += 1.0 / static_cast<double>(list.DegreeOf(v));
+  }
+  return static_cast<double>(list.Length()) / inv_sum;
+}
+
+double EstimateNumNodes(const SamplingList& list, double fallback,
+                        const EstimatorOptions& options) {
+  assert(list.is_walk);
+  const std::size_t r = list.Length();
+  if (r < 3) return fallback;
+  const std::size_t m = LagThreshold(r, options.collision_threshold_fraction);
+  const std::vector<NodeId>& walk = list.visit_sequence;
+
+  // Denominator: ordered collision pairs at lag >= M, computed per node via
+  // two-pointer over the sorted position list.
+  double collisions = 0.0;
+  const auto positions = PositionsByNode(walk);
+  for (const auto& [node, pos] : positions) {
+    (void)node;
+    // For each a, count b > a with pos[b] - pos[a] >= M (then double).
+    std::size_t b = 0;
+    for (std::size_t a = 0; a < pos.size(); ++a) {
+      if (b < a + 1) b = a + 1;
+      while (b < pos.size() && pos[b] - pos[a] < m) ++b;
+      collisions += 2.0 * static_cast<double>(pos.size() - b);
+    }
+  }
+  if (collisions == 0.0) return fallback;
+
+  // Numerator: sum over ordered far pairs of d_{x_i} / d_{x_j}
+  //   = Σ_i d_{x_i} * (Σ_j 1/d_{x_j} - Σ_{j in window(i)} 1/d_{x_j}),
+  // with the window handled by a prefix-sum array.
+  std::vector<double> inv_prefix(r + 1, 0.0);
+  for (std::size_t i = 0; i < r; ++i) {
+    inv_prefix[i + 1] =
+        inv_prefix[i] + 1.0 / static_cast<double>(list.DegreeOf(walk[i]));
+  }
+  const double inv_total = inv_prefix[r];
+  double numerator = 0.0;
+  for (std::size_t i = 0; i < r; ++i) {
+    const std::size_t lo = i >= m - 1 ? i - (m - 1) : 0;
+    const std::size_t hi = std::min(r - 1, i + (m - 1));
+    const double window = inv_prefix[hi + 1] - inv_prefix[lo];
+    numerator +=
+        static_cast<double>(list.DegreeOf(walk[i])) * (inv_total - window);
+  }
+  return numerator / collisions;
+}
+
+LocalEstimates EstimateLocalProperties(const SamplingList& list,
+                                       const EstimatorOptions& options) {
+  assert(list.is_walk && "re-weighted estimators require a walk sample");
+  const std::size_t r = list.Length();
+  assert(r >= 3 && "estimators require at least 3 walk steps");
+  const std::vector<NodeId>& walk = list.visit_sequence;
+  const std::size_t m = LagThreshold(r, options.collision_threshold_fraction);
+
+  LocalEstimates est;
+
+  // --- Degrees, Φ̄, Φ(k). ---
+  std::size_t max_degree = 0;
+  for (NodeId v : walk) max_degree = std::max(max_degree, list.DegreeOf(v));
+  std::vector<double> degree_count(max_degree + 1, 0.0);
+  double phi_bar = 0.0;
+  for (NodeId v : walk) {
+    const std::size_t d = list.DegreeOf(v);
+    degree_count[d] += 1.0;
+    phi_bar += 1.0 / static_cast<double>(d);
+  }
+  phi_bar /= static_cast<double>(r);
+  est.average_degree = 1.0 / phi_bar;
+
+  std::vector<double> phi(max_degree + 1, 0.0);
+  for (std::size_t k = 1; k <= max_degree; ++k) {
+    phi[k] = degree_count[k] /
+             (static_cast<double>(k) * static_cast<double>(r));
+  }
+  est.degree_dist.assign(max_degree + 1, 0.0);
+  for (std::size_t k = 1; k <= max_degree; ++k) {
+    est.degree_dist[k] = phi[k] / phi_bar;
+  }
+
+  // --- Number of nodes (fallback: number of distinct nodes seen, a lower
+  //     bound available from the sampling list itself). ---
+  std::unordered_set<NodeId> seen;
+  for (const auto& [u, nbrs] : list.neighbors) {
+    seen.insert(u);
+    for (NodeId w : nbrs) seen.insert(w);
+  }
+  est.num_nodes =
+      EstimateNumNodes(list, static_cast<double>(seen.size()), options);
+
+  // --- Joint degree distribution: hybrid of IE and TE (Section III-E). ---
+  // TE: traversed edges (consecutive walk pairs).
+  SparseJointDist te;
+  for (std::size_t i = 0; i + 1 < r; ++i) {
+    const auto k = static_cast<std::uint32_t>(list.DegreeOf(walk[i]));
+    const auto kp = static_cast<std::uint32_t>(list.DegreeOf(walk[i + 1]));
+    // Both indicator terms of P̂TE fire for (k, k') and for (k', k); each
+    // consecutive pair contributes 1/(2(r-1)) to each ordering (twice that
+    // on the diagonal).
+    const double w = 1.0 / (2.0 * static_cast<double>(r - 1));
+    te.AddSymmetric(k, kp, (k == kp) ? 2.0 * w : w);
+  }
+
+  // IE: induced edges among far-apart walk positions. For each position i
+  // and each neighbor w of x_i that occurs in the walk at lag >= M, count 1
+  // (A_{x_i, x_j} = 1 exactly when x_j is a neighbor of x_i; originals are
+  // simple). Grouped per (d(x_i), d(w)) class.
+  const auto positions = PositionsByNode(walk);
+  std::unordered_map<std::uint64_t, double> ie_counts;
+  for (std::size_t i = 0; i < r; ++i) {
+    const NodeId u = walk[i];
+    const auto& nbrs = list.neighbors.at(u);
+    // Deduplicate neighbors that appear in the walk (each neighbor edge is
+    // a single adjacency-matrix entry regardless of how often w occurs).
+    for (NodeId w : nbrs) {
+      auto it = positions.find(w);
+      if (it == positions.end()) continue;
+      const std::vector<std::size_t>& pos = it->second;
+      const std::size_t within = CountWithinWindow(pos, i, m);
+      const std::size_t far = pos.size() - within;
+      if (far == 0) continue;
+      const auto k = static_cast<std::uint32_t>(list.DegreeOf(u));
+      const auto kp = static_cast<std::uint32_t>(list.DegreeOf(w));
+      ie_counts[DegreePairKey(k, kp)] += static_cast<double>(far);
+    }
+  }
+  const double num_pairs = CountOrderedPairs(r, m);
+  SparseJointDist ie;
+  for (const auto& [key, count] : ie_counts) {
+    const auto k = static_cast<std::uint32_t>(key >> 32);
+    const auto kp = static_cast<std::uint32_t>(key & 0xffffffffu);
+    const double phi_kkp = count / (static_cast<double>(k) *
+                                    static_cast<double>(kp) * num_pairs);
+    // ie_counts already contains both orderings (the i/w loop sees each
+    // unordered far pair twice, once from each side), so set, not add.
+    ie.SetSymmetric(k, kp,
+                    est.num_nodes * est.average_degree * phi_kkp);
+  }
+
+  // Hybrid: IE for k + k' >= 2 k̂̄ (high-degree pairs, where induced edges
+  // are plentiful), TE below the threshold (where the walk itself samples
+  // edges without bias).
+  const double threshold = 2.0 * est.average_degree;
+  std::unordered_set<std::uint64_t> keys;
+  for (const auto& [key, value] : te.values()) {
+    (void)value;
+    keys.insert(key);
+  }
+  for (const auto& [key, value] : ie.values()) {
+    (void)value;
+    keys.insert(key);
+  }
+  for (std::uint64_t key : keys) {
+    const auto k = static_cast<std::uint32_t>(key >> 32);
+    const auto kp = static_cast<std::uint32_t>(key & 0xffffffffu);
+    if (k > kp) continue;  // handle each unordered pair once
+    double value = 0.0;
+    switch (options.joint_mode) {
+      case JointEstimatorMode::kHybrid:
+        value = (static_cast<double>(k) + static_cast<double>(kp) >=
+                 threshold)
+                    ? ie.At(k, kp)
+                    : te.At(k, kp);
+        break;
+      case JointEstimatorMode::kInducedEdgesOnly:
+        value = ie.At(k, kp);
+        break;
+      case JointEstimatorMode::kTraversedEdgesOnly:
+        value = te.At(k, kp);
+        break;
+    }
+    if (value > 0.0) est.joint_dist.SetSymmetric(k, kp, value);
+  }
+
+  // --- Degree-dependent clustering ĉ̄(k) = Φ_c(k) / Φ(k). ---
+  // Φ_c(k) = 1/((k-1)(r-2)) Σ_{i=2}^{r-1} 1{d(x_i)=k} A_{x_{i-1}, x_{i+1}}.
+  std::unordered_map<NodeId, std::unordered_set<NodeId>> nbr_sets;
+  nbr_sets.reserve(list.neighbors.size());
+  for (const auto& [u, nbrs] : list.neighbors) {
+    nbr_sets.emplace(u, std::unordered_set<NodeId>(nbrs.begin(), nbrs.end()));
+  }
+  std::vector<double> phi_c(max_degree + 1, 0.0);
+  for (std::size_t i = 1; i + 1 < r; ++i) {
+    const NodeId prev = walk[i - 1];
+    const NodeId next = walk[i + 1];
+    if (prev == next) continue;  // A_vv = 0 in a simple graph
+    if (nbr_sets.at(prev).count(next) > 0) {
+      phi_c[list.DegreeOf(walk[i])] += 1.0;
+    }
+  }
+  est.clustering.assign(max_degree + 1, 0.0);
+  for (std::size_t k = 2; k <= max_degree; ++k) {
+    if (phi[k] <= 0.0) continue;
+    // Normalizer: k-1 for a simple walk (Hardiman & Katzir), k for a
+    // non-backtracking walk, whose interior step is uniform over the k-1
+    // non-returning neighbors (see WalkType).
+    const double normalizer =
+        options.walk_type == WalkType::kSimple
+            ? static_cast<double>(k - 1)
+            : static_cast<double>(k);
+    const double phick =
+        phi_c[k] / (normalizer * static_cast<double>(r - 2));
+    est.clustering[k] = phick / phi[k];
+  }
+  return est;
+}
+
+}  // namespace sgr

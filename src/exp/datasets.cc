@@ -1,0 +1,69 @@
+#include "exp/datasets.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <stdexcept>
+
+#include "graph/components.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "util/rng.h"
+
+namespace sgr {
+
+std::vector<DatasetSpec> StandardDatasets() {
+  // Synthetic sizes are scaled-down echoes of Table I: the relative order
+  // of sizes and densities is preserved (Livemocha densest, Anybeat
+  // smallest) while keeping the full benchmark suite laptop-friendly.
+  return {
+      {"anybeat", 3000, 5, 0.30, 0.45, 0xA11B3A70ULL, 12645, 49132},
+      {"brightkite", 5000, 5, 0.40, 0.40, 0xB216D217ULL, 56739, 212945},
+      {"epinions", 6000, 7, 0.30, 0.40, 0xE9141015ULL, 75877, 405739},
+      {"slashdot", 6500, 8, 0.20, 0.40, 0x51A51D07ULL, 77360, 469180},
+      {"gowalla", 8000, 7, 0.35, 0.40, 0x60A77A11ULL, 196591, 950327},
+      {"livemocha", 7000, 15, 0.10, 0.30, 0x11FE30C4ULL, 104103, 2193083},
+  };
+}
+
+DatasetSpec YoutubeDataset() {
+  // Table V queries just 1% of the nodes. At laptop scale that is a few
+  // hundred queried nodes — far below the ~11k the paper's 1% of 1.13M
+  // yields — so the re-weighted estimates are markedly noisier here than
+  // in the paper (EXPERIMENTS.md discusses the effect). Users with hours
+  // of compute can raise SGR_DATASET_SCALE (or drop in the real edge
+  // list) to recover the paper's sample regime.
+  return {"youtube", 30000, 4, 0.15, 0.50, 0x704707BEULL, 1134890,
+          2987624};
+}
+
+DatasetSpec DatasetByName(const std::string& name) {
+  for (const DatasetSpec& spec : StandardDatasets()) {
+    if (spec.name == name) return spec;
+  }
+  if (name == "youtube") return YoutubeDataset();
+  throw std::out_of_range("unknown dataset: " + name);
+}
+
+Graph LoadDataset(const DatasetSpec& spec) {
+  if (const char* dir = std::getenv("SGR_DATASET_DIR")) {
+    const std::filesystem::path path =
+        std::filesystem::path(dir) / (spec.name + ".txt");
+    if (std::filesystem::exists(path)) {
+      return PreprocessDataset(ReadEdgeListFile(path.string()));
+    }
+  }
+  double scale = 1.0;
+  if (const char* env = std::getenv("SGR_DATASET_SCALE")) {
+    scale = std::strtod(env, nullptr);
+    if (scale <= 0.0) scale = 1.0;
+  }
+  const auto n = static_cast<std::size_t>(
+      static_cast<double>(spec.num_nodes) * scale);
+  Rng rng(spec.seed);
+  Graph g = GenerateSocialGraph(n, spec.edges_per_node,
+                                spec.triad_probability,
+                                spec.fringe_fraction, rng);
+  return PreprocessDataset(g);
+}
+
+}  // namespace sgr

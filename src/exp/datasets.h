@@ -1,0 +1,51 @@
+#ifndef SGR_EXP_DATASETS_H_
+#define SGR_EXP_DATASETS_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace sgr {
+
+/// One evaluation dataset. The paper evaluates on seven public social
+/// graphs (Table I). This registry provides synthetic stand-ins of each —
+/// Holme–Kim power-law-cluster graphs with per-dataset size/density/
+/// clustering knobs, preprocessed exactly as Section V-A prescribes — plus
+/// a loader for the real edge lists when they are available on disk (drop
+/// SNAP/networkrepository files into $SGR_DATASET_DIR to reproduce the
+/// paper verbatim; see DESIGN.md "Substitutions").
+struct DatasetSpec {
+  std::string name;             ///< paper dataset name (lowercase)
+  std::size_t num_nodes;        ///< synthetic stand-in size (scaled down)
+  std::size_t edges_per_node;   ///< Holme–Kim attachment parameter (core)
+  double triad_probability;     ///< Holme–Kim triad-closure probability
+  double fringe_fraction;       ///< low-degree periphery share (see
+                                ///  GenerateSocialGraph)
+  std::uint64_t seed;           ///< generation seed (deterministic graphs)
+  std::size_t paper_nodes;      ///< Table I node count (reference)
+  std::size_t paper_edges;      ///< Table I edge count (reference)
+};
+
+/// The six datasets of Tables II-IV / Fig. 3 (everything except YouTube).
+std::vector<DatasetSpec> StandardDatasets();
+
+/// The YouTube stand-in of Table V (largest graph, 1% queried).
+DatasetSpec YoutubeDataset();
+
+/// Spec by name (any of the seven); throws std::out_of_range if unknown.
+DatasetSpec DatasetByName(const std::string& name);
+
+/// Materializes a dataset: if $SGR_DATASET_DIR/<name>.txt exists it is read
+/// as an edge list, otherwise the synthetic stand-in is generated. Either
+/// way the result is preprocessed (simplified + largest connected
+/// component). The environment variable SGR_DATASET_SCALE (default 1.0)
+/// multiplies the synthetic node count, letting users run closer to paper
+/// scale on bigger machines.
+Graph LoadDataset(const DatasetSpec& spec);
+
+}  // namespace sgr
+
+#endif  // SGR_EXP_DATASETS_H_

@@ -1,0 +1,114 @@
+#include "exp/runner.h"
+
+#include <cstdlib>
+
+#include "restore/gjoka.h"
+#include "restore/proposed.h"
+#include "restore/subgraph_method.h"
+#include "sampling/bfs.h"
+#include "sampling/forest_fire.h"
+#include "sampling/random_walk.h"
+#include "sampling/snowball.h"
+#include "sampling/subgraph.h"
+
+namespace sgr {
+
+namespace {
+
+bool Wants(const ExperimentConfig& config, MethodKind kind) {
+  for (MethodKind m : config.methods) {
+    if (m == kind) return true;
+  }
+  return false;
+}
+
+MethodRunResult Evaluate(MethodKind kind, RestorationResult restoration,
+                         const GraphProperties& original_properties,
+                         const PropertyOptions& property_options) {
+  MethodRunResult result;
+  result.kind = kind;
+  const GraphProperties generated =
+      ComputeProperties(restoration.graph, property_options);
+  result.distances = PropertyDistances(original_properties, generated);
+  result.average_distance = AverageDistance(result.distances);
+  result.sd_distance = DistanceStandardDeviation(result.distances);
+  result.restoration = std::move(restoration);
+  return result;
+}
+
+}  // namespace
+
+double EnvOr(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  return end == value ? fallback : parsed;
+}
+
+std::vector<MethodRunResult> RunExperiment(
+    const Graph& original, const GraphProperties& original_properties,
+    const ExperimentConfig& config, std::uint64_t run_seed) {
+  std::vector<MethodRunResult> results;
+  Rng rng(run_seed);
+  const auto budget = static_cast<std::size_t>(std::max<double>(
+      1.0, config.query_fraction * static_cast<double>(original.NumNodes())));
+  const NodeId seed_node =
+      static_cast<NodeId>(rng.NextIndex(original.NumNodes()));
+
+  if (Wants(config, MethodKind::kBfs)) {
+    QueryOracle oracle(original);
+    results.push_back(Evaluate(
+        MethodKind::kBfs,
+        RestoreBySubgraphSampling(BfsSample(oracle, seed_node, budget)),
+        original_properties, config.property_options));
+  }
+  if (Wants(config, MethodKind::kSnowball)) {
+    QueryOracle oracle(original);
+    results.push_back(Evaluate(
+        MethodKind::kSnowball,
+        RestoreBySubgraphSampling(SnowballSample(
+            oracle, seed_node, budget, config.snowball_k, rng)),
+        original_properties, config.property_options));
+  }
+  if (Wants(config, MethodKind::kForestFire)) {
+    QueryOracle oracle(original);
+    results.push_back(Evaluate(
+        MethodKind::kForestFire,
+        RestoreBySubgraphSampling(ForestFireSample(
+            oracle, seed_node, budget, config.forest_fire_pf, rng)),
+        original_properties, config.property_options));
+  }
+
+  const bool needs_walk = Wants(config, MethodKind::kRandomWalk) ||
+                          Wants(config, MethodKind::kGjoka) ||
+                          Wants(config, MethodKind::kProposed);
+  if (needs_walk) {
+    // One walk shared by subgraph-RW, Gjoka et al., and the proposed
+    // method (Section V-D: "we perform these methods for the same RW to
+    // achieve a fair comparison").
+    QueryOracle oracle(original);
+    const SamplingList walk =
+        RandomWalkSample(oracle, seed_node, budget, rng);
+    if (Wants(config, MethodKind::kRandomWalk)) {
+      results.push_back(Evaluate(MethodKind::kRandomWalk,
+                                 RestoreBySubgraphSampling(walk),
+                                 original_properties,
+                                 config.property_options));
+    }
+    if (Wants(config, MethodKind::kGjoka)) {
+      results.push_back(Evaluate(
+          MethodKind::kGjoka, RestoreGjoka(walk, config.restoration, rng),
+          original_properties, config.property_options));
+    }
+    if (Wants(config, MethodKind::kProposed)) {
+      results.push_back(Evaluate(
+          MethodKind::kProposed,
+          RestoreProposed(walk, config.restoration, rng),
+          original_properties, config.property_options));
+    }
+  }
+  return results;
+}
+
+}  // namespace sgr

@@ -1,0 +1,70 @@
+#ifndef SGR_EXP_RUNNER_H_
+#define SGR_EXP_RUNNER_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/l1.h"
+#include "analysis/properties.h"
+#include "graph/graph.h"
+#include "restore/method.h"
+#include "util/rng.h"
+
+namespace sgr {
+
+/// Configuration of one experimental run matrix (Section V-D/E).
+struct ExperimentConfig {
+  /// Fraction of nodes to query (the paper sweeps 1%-10%, uses 10% for the
+  /// tables and 1% for YouTube).
+  double query_fraction = 0.1;
+
+  /// Methods to run. Default: all six, in the paper's column order.
+  std::vector<MethodKind> methods = {
+      MethodKind::kBfs,      MethodKind::kSnowball,
+      MethodKind::kForestFire, MethodKind::kRandomWalk,
+      MethodKind::kGjoka,    MethodKind::kProposed};
+
+  /// Snowball neighbor cap (paper: k = 50).
+  std::size_t snowball_k = 50;
+
+  /// Forest-fire forward probability (paper: pf = 0.7).
+  double forest_fire_pf = 0.7;
+
+  /// Options forwarded to the generative methods (RC = 500 by default).
+  RestorationOptions restoration;
+
+  /// Options for the property analyzers applied to original and generated
+  /// graphs alike.
+  PropertyOptions property_options;
+};
+
+/// Result of applying one method in one run.
+struct MethodRunResult {
+  MethodKind kind = MethodKind::kProposed;
+  RestorationResult restoration;
+  std::array<double, kNumProperties> distances{};
+  double average_distance = 0.0;
+  double sd_distance = 0.0;
+};
+
+/// Executes one run: draws a uniformly random seed node, starts BFS,
+/// snowball, FF, and RW from that same seed (Section V-D), applies subgraph
+/// sampling to each crawl, and applies Gjoka et al.'s method and the
+/// proposed method to the *same* random walk for a fair comparison. Then
+/// evaluates the 12-property L1 distances against `original_properties`.
+///
+/// `run_seed` drives all randomness of the run (crawler RNG + generation
+/// RNG), so runs are reproducible.
+std::vector<MethodRunResult> RunExperiment(
+    const Graph& original, const GraphProperties& original_properties,
+    const ExperimentConfig& config, std::uint64_t run_seed);
+
+/// Reads a double from environment variable `name`, or `fallback` if the
+/// variable is unset/invalid. Used by benches for RC / runs / fraction
+/// overrides (e.g. SGR_RC, SGR_RUNS).
+double EnvOr(const char* name, double fallback);
+
+}  // namespace sgr
+
+#endif  // SGR_EXP_RUNNER_H_

@@ -1,0 +1,41 @@
+#ifndef SGR_EXP_TABLE_PRINTER_H_
+#define SGR_EXP_TABLE_PRINTER_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace sgr {
+
+/// Minimal fixed-width table printer used by the benchmark harness to emit
+/// the paper's tables on stdout (and optionally as CSV for plotting).
+class TablePrinter {
+ public:
+  /// Creates a printer writing to `out` with the given column headers.
+  TablePrinter(std::ostream& out, std::vector<std::string> headers);
+
+  /// Adds a data row (must match the header count).
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the header + all rows with aligned columns.
+  void Print() const;
+
+  /// Renders as comma-separated values (headers first).
+  void PrintCsv() const;
+
+  /// Formats a double with `precision` significant decimals (fixed).
+  static std::string Fixed(double value, int precision = 3);
+
+  /// Formats "mean ± sd".
+  static std::string PlusMinus(double mean, double sd, int precision = 3);
+
+ private:
+  std::ostream* out_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sgr
+
+#endif  // SGR_EXP_TABLE_PRINTER_H_

@@ -1,0 +1,71 @@
+#include "graph/components.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace sgr {
+
+ComponentsResult ConnectedComponents(const Graph& g) {
+  ComponentsResult result;
+  result.component_of.assign(g.NumNodes(), static_cast<std::size_t>(-1));
+  for (NodeId start = 0; start < g.NumNodes(); ++start) {
+    if (result.component_of[start] != static_cast<std::size_t>(-1)) continue;
+    const std::size_t comp = result.sizes.size();
+    result.sizes.push_back(0);
+    std::queue<NodeId> frontier;
+    frontier.push(start);
+    result.component_of[start] = comp;
+    while (!frontier.empty()) {
+      NodeId v = frontier.front();
+      frontier.pop();
+      ++result.sizes[comp];
+      for (NodeId w : g.adjacency(v)) {
+        if (result.component_of[w] == static_cast<std::size_t>(-1)) {
+          result.component_of[w] = comp;
+          frontier.push(w);
+        }
+      }
+    }
+  }
+  if (!result.sizes.empty()) {
+    result.largest = static_cast<std::size_t>(
+        std::max_element(result.sizes.begin(), result.sizes.end()) -
+        result.sizes.begin());
+  }
+  return result;
+}
+
+std::size_t CountComponents(const Graph& g) {
+  return ConnectedComponents(g).sizes.size();
+}
+
+bool IsConnected(const Graph& g) {
+  return g.NumNodes() > 0 && CountComponents(g) == 1;
+}
+
+Graph LargestConnectedComponent(const Graph& g,
+                                std::vector<NodeId>* old_to_new) {
+  const ComponentsResult comps = ConnectedComponents(g);
+  std::vector<NodeId> mapping(g.NumNodes(), kNotInLcc);
+  Graph lcc;
+  if (!comps.sizes.empty()) {
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      if (comps.component_of[v] == comps.largest) {
+        mapping[v] = static_cast<NodeId>(lcc.AddNode());
+      }
+    }
+    for (const Edge& e : g.edges()) {
+      if (mapping[e.u] != kNotInLcc && mapping[e.v] != kNotInLcc) {
+        lcc.AddEdge(mapping[e.u], mapping[e.v]);
+      }
+    }
+  }
+  if (old_to_new != nullptr) *old_to_new = std::move(mapping);
+  return lcc;
+}
+
+Graph PreprocessDataset(const Graph& g) {
+  return LargestConnectedComponent(g.Simplified());
+}
+
+}  // namespace sgr

@@ -1,0 +1,85 @@
+#ifndef SGR_GRAPH_GENERATORS_H_
+#define SGR_GRAPH_GENERATORS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace sgr {
+
+/// Synthetic graph generators.
+///
+/// The paper evaluates on seven public social graphs (Table I). In an
+/// offline environment we substitute synthetic graphs with the structural
+/// features that drive the paper's phenomena: heavy-tailed degree
+/// distributions, positive clustering, and a single giant component (see
+/// DESIGN.md, "Substitutions"). The generators below cover that need plus
+/// simple null models used by the test suite.
+
+/// Erdős–Rényi G(n, m): `num_edges` edges drawn uniformly without
+/// replacement among unordered pairs (no loops / multi-edges). Used as a
+/// low-clustering null model in tests and ablations.
+Graph GenerateErdosRenyiGnm(std::size_t num_nodes, std::size_t num_edges,
+                            Rng& rng);
+
+/// Barabási–Albert preferential attachment: each new node attaches
+/// `edges_per_node` edges to existing nodes chosen proportionally to degree.
+/// Produces a power-law degree distribution with exponent ~3 and vanishing
+/// clustering.
+Graph GenerateBarabasiAlbert(std::size_t num_nodes,
+                             std::size_t edges_per_node, Rng& rng);
+
+/// Holme–Kim power-law cluster model: Barabási–Albert growth where, after
+/// each preferential attachment, a triad-closing step links the new node to
+/// a random neighbor of the just-linked target with probability
+/// `triad_probability`. Produces heavy-tailed degrees *and* tunable
+/// clustering — our stand-in for real social graphs.
+Graph GeneratePowerlawCluster(std::size_t num_nodes,
+                              std::size_t edges_per_node,
+                              double triad_probability, Rng& rng);
+
+/// Social-graph stand-in: a Holme–Kim power-law-cluster core on
+/// (1 - fringe_fraction) of the nodes, plus a low-degree fringe — each
+/// fringe node attaches preferentially to the existing graph with a small
+/// random degree (1 + capped geometric, mostly 1-2). Real social graphs
+/// carry a heavy share of degree-1/2 users; the fringe reproduces that
+/// periphery, which drives the paper's visualization argument (Fig. 4)
+/// and the crawl's edge-coverage behaviour. The result is connected and
+/// simple.
+Graph GenerateSocialGraph(std::size_t num_nodes, std::size_t edges_per_node,
+                          double triad_probability, double fringe_fraction,
+                          Rng& rng);
+
+/// Watts–Strogatz small world: ring lattice with `k_neighbors` (even) links
+/// per node, each rewired with probability `rewire_probability`. High
+/// clustering, narrow degree distribution; used in tests.
+Graph GenerateWattsStrogatz(std::size_t num_nodes, std::size_t k_neighbors,
+                            double rewire_probability, Rng& rng);
+
+/// Two-level community graph: `num_communities` Holme–Kim communities of
+/// equal size joined by `bridge_edges` uniformly random inter-community
+/// edges. Exercises the methods on modular topologies (the structure that
+/// makes Fig. 4's core/periphery visualization interesting).
+Graph GenerateCommunityGraph(std::size_t num_nodes,
+                             std::size_t num_communities,
+                             std::size_t edges_per_node,
+                             double triad_probability,
+                             std::size_t bridge_edges, Rng& rng);
+
+/// Complete graph K_n (test fixture).
+Graph GenerateComplete(std::size_t num_nodes);
+
+/// Cycle C_n (test fixture).
+Graph GenerateCycle(std::size_t num_nodes);
+
+/// Star S_n: node 0 joined to nodes 1..n-1 (test fixture).
+Graph GenerateStar(std::size_t num_nodes);
+
+/// Path P_n (test fixture).
+Graph GeneratePath(std::size_t num_nodes);
+
+}  // namespace sgr
+
+#endif  // SGR_GRAPH_GENERATORS_H_

@@ -1,0 +1,91 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace sgr {
+
+Graph ReadEdgeList(std::istream& in) {
+  Graph g;
+  std::unordered_map<long long, NodeId> renumber;
+  auto intern = [&](long long raw) {
+    auto [it, inserted] = renumber.try_emplace(raw, NodeId{0});
+    if (inserted) it->second = g.AddNode();
+    return it->second;
+  };
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#' || line[0] == '%') continue;
+    std::istringstream fields(line);
+    long long raw_u = 0;
+    long long raw_v = 0;
+    if (!(fields >> raw_u >> raw_v) || raw_u < 0 || raw_v < 0) {
+      throw std::runtime_error("ReadEdgeList: malformed line " +
+                               std::to_string(line_no) + ": '" + line + "'");
+    }
+    // Sequence the interning explicitly: first-appearance numbering must
+    // not depend on argument evaluation order.
+    const NodeId u = intern(raw_u);
+    const NodeId v = intern(raw_v);
+    g.AddEdge(u, v);
+  }
+  return g;
+}
+
+Graph ReadEdgeListFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("ReadEdgeListFile: cannot open '" + path + "'");
+  }
+  return ReadEdgeList(in);
+}
+
+void WriteEdgeList(const Graph& g, std::ostream& out) {
+  out << "# nodes " << g.NumNodes() << " edges " << g.NumEdges() << "\n";
+  for (const Edge& e : g.edges()) out << e.u << " " << e.v << "\n";
+}
+
+void WriteEdgeListFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("WriteEdgeListFile: cannot open '" + path + "'");
+  }
+  WriteEdgeList(g, out);
+}
+
+void WriteGexf(const Graph& g, std::ostream& out) {
+  out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      << "<gexf xmlns=\"http://www.gexf.net/1.2draft\" version=\"1.2\">\n"
+      << "  <graph mode=\"static\" defaultedgetype=\"undirected\">\n"
+      << "    <attributes class=\"node\">\n"
+      << "      <attribute id=\"0\" title=\"degree\" type=\"integer\"/>\n"
+      << "    </attributes>\n"
+      << "    <nodes>\n";
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    out << "      <node id=\"" << v << "\"><attvalues>"
+        << "<attvalue for=\"0\" value=\"" << g.Degree(v)
+        << "\"/></attvalues></node>\n";
+  }
+  out << "    </nodes>\n    <edges>\n";
+  for (EdgeId e = 0; e < g.NumEdges(); ++e) {
+    out << "      <edge id=\"" << e << "\" source=\"" << g.edge(e).u
+        << "\" target=\"" << g.edge(e).v << "\"/>\n";
+  }
+  out << "    </edges>\n  </graph>\n</gexf>\n";
+}
+
+void WriteGexfFile(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("WriteGexfFile: cannot open '" + path + "'");
+  }
+  WriteGexf(g, out);
+}
+
+}  // namespace sgr

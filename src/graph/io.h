@@ -1,0 +1,43 @@
+#ifndef SGR_GRAPH_IO_H_
+#define SGR_GRAPH_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace sgr {
+
+/// Graph serialization.
+///
+/// Edge-list format: one `u v` pair per line; `#` and `%` lines are
+/// comments. This matches the format of the SNAP / networkrepository
+/// datasets the paper uses, so real data drops in directly. GEXF export
+/// supports the Fig. 4 visualization workflow (the files open in Gephi).
+
+/// Reads an edge list from `in`. Node ids may be arbitrary non-negative
+/// integers; they are densely renumbered in first-appearance order.
+/// Throws std::runtime_error on malformed input.
+Graph ReadEdgeList(std::istream& in);
+
+/// Reads an edge list from the file at `path`.
+/// Throws std::runtime_error if the file cannot be opened.
+Graph ReadEdgeListFile(const std::string& path);
+
+/// Writes `g` as an edge list (one edge per line) to `out`.
+void WriteEdgeList(const Graph& g, std::ostream& out);
+
+/// Writes `g` as an edge list to the file at `path`.
+void WriteEdgeListFile(const Graph& g, const std::string& path);
+
+/// Writes `g` in GEXF 1.2 format with node degrees exported as a
+/// visualization attribute (size by degree reproduces the look of Fig. 4
+/// in Gephi).
+void WriteGexf(const Graph& g, std::ostream& out);
+
+/// Writes GEXF to the file at `path`.
+void WriteGexfFile(const Graph& g, const std::string& path);
+
+}  // namespace sgr
+
+#endif  // SGR_GRAPH_IO_H_

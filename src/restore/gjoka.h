@@ -1,0 +1,25 @@
+#ifndef SGR_RESTORE_GJOKA_H_
+#define SGR_RESTORE_GJOKA_H_
+
+#include "restore/method.h"
+#include "sampling/sampling_list.h"
+#include "util/rng.h"
+
+namespace sgr {
+
+/// Reproducible version of Gjoka et al.'s 2.5K-from-sample generation
+/// (INFOCOM 2013), implemented exactly as the paper's Appendix B describes:
+/// the same re-weighted estimates and target-construction machinery as the
+/// proposed method, but
+///   * no subgraph modification steps (the method ignores the structure of
+///     the sampled subgraph entirely),
+///   * construction from an empty graph rather than from G',
+///   * rewiring over all edges (E~rew = E~).
+///
+/// This is the main generative baseline of the evaluation section.
+RestorationResult RestoreGjoka(const SamplingList& list,
+                               const RestorationOptions& options, Rng& rng);
+
+}  // namespace sgr
+
+#endif  // SGR_RESTORE_GJOKA_H_

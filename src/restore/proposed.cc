@@ -1,0 +1,57 @@
+#include "restore/proposed.h"
+
+#include "dk/dk_construct.h"
+#include "estimation/estimators.h"
+#include "restore/assembler.h"
+#include "restore/simplify.h"
+#include "restore/target_degree_vector.h"
+#include "restore/target_jdm.h"
+#include "sampling/subgraph.h"
+#include "util/timer.h"
+
+namespace sgr {
+
+RestorationResult RestoreProposed(const SamplingList& list,
+                                  const RestorationOptions& options,
+                                  Rng& rng) {
+  Timer total;
+  RestorationResult result;
+
+  // Preliminary phase: subgraph + re-weighted estimates.
+  const Subgraph sub = BuildSubgraph(list);
+  result.estimates = EstimateLocalProperties(list, options.estimator);
+  result.subgraph_queried = sub.NumQueried();
+  result.subgraph_nodes = sub.graph.NumNodes();
+  result.subgraph_edges = sub.graph.NumEdges();
+
+  // First phase: target degree vector + per-node target degrees.
+  TargetDegreeVectorResult targets =
+      BuildTargetDegreeVector(sub, result.estimates, rng);
+
+  // Second phase: target joint degree matrix (may grow the degree vector).
+  const JointDegreeMatrix m_prime =
+      SubgraphClassEdges(sub.graph, targets.subgraph_target_degrees);
+  const JointDegreeMatrix m_star =
+      BuildTargetJdm(result.estimates, targets.n_star, m_prime, rng);
+
+  // Third phase: extend the subgraph to realize both targets.
+  result.graph =
+      AssembleFromSubgraph(sub, targets, targets.n_star, m_star, rng);
+
+  // Fourth phase: rewire non-subgraph edges toward ĉ̄(k). Protecting the
+  // first |E'| edge ids (the subgraph edges copied first by Algorithm 5)
+  // realizes E~rew = E~ \ E'.
+  Timer rewiring;
+  result.rewire_stats =
+      RewireToClustering(result.graph, sub.graph.NumEdges(),
+                         result.estimates.clustering, options.rewire, rng);
+  result.rewiring_seconds = rewiring.Seconds();
+
+  if (options.simplify_output) {
+    SimplifyByRewiring(result.graph, sub.graph.NumEdges(), rng);
+  }
+  result.total_seconds = total.Seconds();
+  return result;
+}
+
+}  // namespace sgr

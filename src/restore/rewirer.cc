@@ -1,0 +1,84 @@
+#include "restore/rewirer.h"
+
+#include <array>
+#include <cmath>
+
+#include "dk/triangle_tracker.h"
+
+namespace sgr {
+
+RewireStats RewireToClustering(Graph& g, std::size_t num_protected_edges,
+                               const std::vector<double>& target_clustering,
+                               const RewireOptions& options, Rng& rng) {
+  RewireStats stats;
+  const std::size_t num_candidates = g.NumEdges() - num_protected_edges;
+  if (num_candidates < 2) return stats;
+
+  TriangleTracker tracker(g, target_clustering);
+  double current = tracker.Objective();
+  stats.initial_distance = current;
+  stats.final_distance = current;
+
+  const auto total_attempts = static_cast<std::size_t>(
+      std::llround(options.rewiring_coefficient *
+                   static_cast<double>(num_candidates)));
+  stats.attempts = total_attempts;
+
+  for (std::size_t attempt = 0; attempt < total_attempts; ++attempt) {
+    if ((attempt + 1) % options.resync_interval == 0) {
+      tracker.RecomputeObjective();
+      current = tracker.Objective();
+    }
+    const EdgeId e1 =
+        num_protected_edges + rng.NextIndex(num_candidates);
+    const EdgeId e2 =
+        num_protected_edges + rng.NextIndex(num_candidates);
+    if (e1 == e2) continue;
+    const Edge edge1 = g.edge(e1);
+    const Edge edge2 = g.edge(e2);
+
+    // Orientations ((i,j),(a,b)) with deg(i) == deg(a); pick uniformly
+    // among the valid ones.
+    struct Orientation {
+      NodeId i, j, a, b;
+    };
+    std::array<Orientation, 4> all = {
+        Orientation{edge1.u, edge1.v, edge2.u, edge2.v},
+        Orientation{edge1.u, edge1.v, edge2.v, edge2.u},
+        Orientation{edge1.v, edge1.u, edge2.u, edge2.v},
+        Orientation{edge1.v, edge1.u, edge2.v, edge2.u}};
+    std::array<Orientation, 4> valid;
+    std::size_t num_valid = 0;
+    for (const Orientation& o : all) {
+      if (g.Degree(o.i) == g.Degree(o.a)) valid[num_valid++] = o;
+    }
+    if (num_valid == 0) continue;
+    const Orientation o = valid[rng.NextIndex(num_valid)];
+
+    // Swaps that leave the edge multiset unchanged cannot improve.
+    if (o.i == o.a || o.j == o.b) continue;
+
+    // Trial: apply on the tracker, accept iff the distance strictly drops.
+    tracker.RemoveEdge(o.i, o.j);
+    tracker.RemoveEdge(o.a, o.b);
+    tracker.AddEdge(o.i, o.b);
+    tracker.AddEdge(o.a, o.j);
+    const double proposed = tracker.Objective();
+    if (proposed < current) {
+      g.ReplaceEdge(e1, o.i, o.b);
+      g.ReplaceEdge(e2, o.a, o.j);
+      current = proposed;
+      ++stats.accepted;
+    } else {
+      tracker.RemoveEdge(o.i, o.b);
+      tracker.RemoveEdge(o.a, o.j);
+      tracker.AddEdge(o.i, o.j);
+      tracker.AddEdge(o.a, o.b);
+    }
+  }
+  tracker.RecomputeObjective();
+  stats.final_distance = tracker.Objective();
+  return stats;
+}
+
+}  // namespace sgr

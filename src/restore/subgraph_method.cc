@@ -1,0 +1,38 @@
+#include "restore/subgraph_method.h"
+
+#include "sampling/subgraph.h"
+#include "util/timer.h"
+
+namespace sgr {
+
+RestorationResult RestoreBySubgraphSampling(const SamplingList& list) {
+  Timer total;
+  RestorationResult result;
+  Subgraph sub = BuildSubgraph(list);
+  result.subgraph_queried = sub.NumQueried();
+  result.subgraph_nodes = sub.graph.NumNodes();
+  result.subgraph_edges = sub.graph.NumEdges();
+  result.graph = std::move(sub.graph);
+  result.total_seconds = total.Seconds();
+  return result;
+}
+
+std::string MethodName(MethodKind kind) {
+  switch (kind) {
+    case MethodKind::kBfs:
+      return "BFS";
+    case MethodKind::kSnowball:
+      return "Snowball";
+    case MethodKind::kForestFire:
+      return "FF";
+    case MethodKind::kRandomWalk:
+      return "RW";
+    case MethodKind::kGjoka:
+      return "Gjoka et al.";
+    case MethodKind::kProposed:
+      return "Proposed";
+  }
+  return "unknown";
+}
+
+}  // namespace sgr

@@ -1,0 +1,16 @@
+#ifndef SGR_RESTORE_SUBGRAPH_METHOD_H_
+#define SGR_RESTORE_SUBGRAPH_METHOD_H_
+
+#include "restore/method.h"
+#include "sampling/sampling_list.h"
+
+namespace sgr {
+
+/// Subgraph sampling (Section V-D): the baseline that simply returns the
+/// subgraph induced from the set of edges obtained by a crawling method
+/// (BFS, snowball, forest fire, or random walk) as its "restored" graph.
+RestorationResult RestoreBySubgraphSampling(const SamplingList& list);
+
+}  // namespace sgr
+
+#endif  // SGR_RESTORE_SUBGRAPH_METHOD_H_

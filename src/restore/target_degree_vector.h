@@ -1,0 +1,50 @@
+#ifndef SGR_RESTORE_TARGET_DEGREE_VECTOR_H_
+#define SGR_RESTORE_TARGET_DEGREE_VECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dk/degree_vector.h"
+#include "estimation/estimates.h"
+#include "sampling/subgraph.h"
+#include "util/rng.h"
+
+namespace sgr {
+
+/// Output of the first phase (Section IV-B).
+struct TargetDegreeVectorResult {
+  /// Target degree vector {n*(k)}, size k*_max + 1. Satisfies DV-1..DV-3.
+  DegreeVector n_star;
+
+  /// Target degree d*_i of every subgraph node (indexed by subgraph id):
+  /// the subgraph degree for queried nodes, an assigned degree >= the
+  /// subgraph degree for visible nodes (Lemma 1). Empty for the
+  /// estimates-only variant.
+  std::vector<std::uint32_t> subgraph_target_degrees;
+
+  /// Target maximum degree k*_max.
+  std::uint32_t k_star_max = 0;
+};
+
+/// Builds the target degree vector of the proposed method: initialization
+/// from (n̂, {P̂(k)}), parity adjustment (Algorithm 1), subgraph-aware
+/// modification with per-node target-degree assignment (Algorithm 2), and a
+/// final parity re-adjustment if the modification broke DV-2.
+TargetDegreeVectorResult BuildTargetDegreeVector(const Subgraph& sub,
+                                                 const LocalEstimates& est,
+                                                 Rng& rng);
+
+/// Estimates-only variant used by the Gjoka et al. baseline (Appendix B):
+/// initialization + parity adjustment, no subgraph modification.
+TargetDegreeVectorResult BuildTargetDegreeVectorFromEstimates(
+    const LocalEstimates& est);
+
+/// Error increase Δ+(k) of bumping n*(k) by one relative to the immediate
+/// estimate n̂(k) = n̂ P̂(k); +infinity when P̂(k) = 0 (Section IV-B).
+/// Exposed for tests.
+double DegreeDeltaPlus(const LocalEstimates& est, std::uint32_t k,
+                       std::int64_t current);
+
+}  // namespace sgr
+
+#endif  // SGR_RESTORE_TARGET_DEGREE_VECTOR_H_

@@ -1,0 +1,226 @@
+#include "restore/target_jdm.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace sgr {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Initialization step of Section IV-C: for every degree pair with
+/// P̂(k,k') > 0, m*(k,k') = max(NearInt(n̂ k̂̄ P̂(k,k')/µ(k,k')), 1).
+JointDegreeMatrix InitializeJdm(const LocalEstimates& est) {
+  JointDegreeMatrix m_star;
+  for (const auto& [key, p] : est.joint_dist.values()) {
+    if (p <= 0.0) continue;
+    const auto k = static_cast<std::uint32_t>(key >> 32);
+    const auto kp = static_cast<std::uint32_t>(key & 0xffffffffu);
+    if (k > kp) continue;  // handle each unordered pair once
+    const std::int64_t value = std::max<std::int64_t>(
+        std::llround(est.EstimatedEdgeCount(k, kp)), 1);
+    m_star.SetSymmetric(k, kp, value);
+  }
+  return m_star;
+}
+
+/// Row sums s(k) = Σ_k' µ(k,k') m(k,k') for all k <= k_max.
+std::vector<std::int64_t> RowSums(const JointDegreeMatrix& m,
+                                  std::uint32_t k_max) {
+  std::vector<std::int64_t> s(k_max + 1, 0);
+  for (const auto& [key, count] : m.counts()) {
+    const auto k = static_cast<std::uint32_t>(key >> 32);
+    const auto kp = static_cast<std::uint32_t>(key & 0xffffffffu);
+    assert(k <= k_max && kp <= k_max);
+    s[k] += (k == kp ? 2 : 1) * count;
+  }
+  return s;
+}
+
+/// Uniformly random element of `candidates` (non-empty).
+std::uint32_t PickRandom(const std::vector<std::uint32_t>& candidates,
+                         Rng& rng) {
+  return candidates[rng.NextIndex(candidates.size())];
+}
+
+/// Adjustment step (Algorithm 3): drive every row sum s(k) to its target
+/// s*(k) = k n*(k), processing the frozen set D in decreasing degree order
+/// and respecting the lower limits {m_min(k,k')}. May grow `n_star`.
+void AdjustJdm(const LocalEstimates& est, DegreeVector& n_star,
+               JointDegreeMatrix& m_star, const JointDegreeMatrix& m_min,
+               Rng& rng) {
+  const auto k_max = static_cast<std::uint32_t>(n_star.size() - 1);
+  std::vector<std::int64_t> s = RowSums(m_star, k_max);
+  std::vector<std::int64_t> s_star(k_max + 1, 0);
+  for (std::uint32_t k = 1; k <= k_max; ++k) {
+    s_star[k] = static_cast<std::int64_t>(k) * n_star[k];
+  }
+
+  // D = {k : s(k) != s*(k)} ∪ {1}, frozen now; degrees outside D are never
+  // touched, which is exactly the paper's third constraint.
+  std::vector<std::uint32_t> d_set;
+  std::vector<bool> in_d(k_max + 1, false);
+  for (std::uint32_t k = 1; k <= k_max; ++k) {
+    if (s[k] != s_star[k] || k == 1) {
+      d_set.push_back(k);
+      in_d[k] = true;
+    }
+  }
+  // Members of D not exceeding k, ascending (for candidate scans).
+  // d_set is ascending by construction; process in decreasing order.
+  for (auto it = d_set.rbegin(); it != d_set.rend(); ++it) {
+    const std::uint32_t k = *it;
+    if (k == 1 && (std::llabs(s[1] - s_star[1]) % 2) == 1) {
+      // Lines 2-3: make the gap even; only m(1,1) can move s(1), in steps
+      // of 2.
+      ++n_star[1];
+      s_star[1] += 1;
+    }
+    while (s[k] != s_star[k]) {
+      if (s[k] < s_star[k]) {
+        // Lines 5-9: increase m*(k,k') for the candidate with the smallest
+        // Δ+(k,k'); exclude k' = k when one unit short (µ(k,k) = 2 would
+        // overshoot).
+        const bool exclude_self = (s[k] == s_star[k] - 1);
+        double best = kInf;
+        std::vector<std::uint32_t> best_set;
+        for (std::uint32_t kp : d_set) {
+          if (kp > k) break;
+          if (exclude_self && kp == k) continue;
+          const double delta = JdmDelta(est, k, kp, m_star.At(k, kp), +1);
+          if (delta < best - 1e-15) {
+            best = delta;
+            best_set.assign(1, kp);
+          } else if (delta <= best + 1e-15) {
+            best_set.push_back(kp);
+          }
+        }
+        assert(!best_set.empty() &&
+               "D'+(k) is provably non-empty (contains degree 1)");
+        const std::uint32_t kp = PickRandom(best_set, rng);
+        m_star.AddSymmetric(k, kp, +1);
+        s[k] += (kp == k) ? 2 : 1;
+        if (kp != k) s[kp] += 1;
+      } else {
+        // Lines 10-20: decrease m*(k,k') respecting the lower limits, or
+        // grow the target sum when no entry can be decreased.
+        const bool exclude_self = (s[k] == s_star[k] + 1);
+        double best = kInf;
+        std::vector<std::uint32_t> best_set;
+        for (std::uint32_t kp : d_set) {
+          if (kp > k) break;
+          if (exclude_self && kp == k) continue;
+          if (m_star.At(k, kp) <= m_min.At(k, kp)) continue;
+          const double delta = JdmDelta(est, k, kp, m_star.At(k, kp), -1);
+          if (delta < best - 1e-15) {
+            best = delta;
+            best_set.assign(1, kp);
+          } else if (delta <= best + 1e-15) {
+            best_set.push_back(kp);
+          }
+        }
+        if (!best_set.empty()) {
+          const std::uint32_t kp = PickRandom(best_set, rng);
+          m_star.AddSymmetric(k, kp, -1);
+          s[k] -= (kp == k) ? 2 : 1;
+          if (kp != k) s[kp] -= 1;
+        } else if (k > 1) {
+          ++n_star[k];
+          s_star[k] += k;
+        } else {
+          n_star[1] += 2;
+          s_star[1] += 2;
+        }
+      }
+    }
+  }
+}
+
+/// Modification step (Algorithm 4): raise m*(k1,k2) to at least m'(k1,k2)
+/// for every pair, compensating through decrements elsewhere in rows k1 and
+/// k2 so that row sums and the total edge count are preserved whenever
+/// possible.
+void ModifyJdm(const LocalEstimates& est, std::uint32_t k_max,
+               JointDegreeMatrix& m_star, const JointDegreeMatrix& m_prime,
+               Rng& rng) {
+  // D''_-(k): degrees k' != k with m*(k,k') > m'(k,k'), minimizing
+  // Δ-(k,k'); ties uniformly random. Returns true and sets `out` when
+  // non-empty.
+  auto pick_decrement = [&](std::uint32_t k, std::uint32_t& out) {
+    double best = kInf;
+    std::vector<std::uint32_t> best_set;
+    for (std::uint32_t kp = 1; kp <= k_max; ++kp) {
+      if (kp == k) continue;
+      if (m_star.At(k, kp) <= m_prime.At(k, kp)) continue;
+      const double delta = JdmDelta(est, k, kp, m_star.At(k, kp), -1);
+      if (delta < best - 1e-15) {
+        best = delta;
+        best_set.assign(1, kp);
+      } else if (delta <= best + 1e-15) {
+        best_set.push_back(kp);
+      }
+    }
+    if (best_set.empty()) return false;
+    out = PickRandom(best_set, rng);
+    return true;
+  };
+
+  for (std::uint32_t k1 = 1; k1 <= k_max; ++k1) {
+    for (std::uint32_t k2 = k1; k2 <= k_max; ++k2) {
+      while (m_star.At(k1, k2) < m_prime.At(k1, k2)) {
+        m_star.AddSymmetric(k1, k2, +1);
+        std::uint32_t k3 = 0;
+        std::uint32_t k4 = 0;
+        const bool found3 = pick_decrement(k1, k3);
+        if (found3) m_star.AddSymmetric(k1, k3, -1);
+        const bool found4 = pick_decrement(k2, k4);
+        if (found4) m_star.AddSymmetric(k2, k4, -1);
+        if (found3 && found4) m_star.AddSymmetric(k3, k4, +1);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+double JdmDelta(const LocalEstimates& est, std::uint32_t k,
+                std::uint32_t k_prime, std::int64_t current, int direction) {
+  if (est.joint_dist.At(k, k_prime) <= 0.0) return kInf;
+  const double estimate = est.EstimatedEdgeCount(k, k_prime);
+  if (estimate <= 0.0) return kInf;
+  const double cur = static_cast<double>(current);
+  const double next = cur + static_cast<double>(direction);
+  return (std::abs(estimate - next) - std::abs(estimate - cur)) / estimate;
+}
+
+JointDegreeMatrix BuildTargetJdmFromEstimates(const LocalEstimates& est,
+                                              DegreeVector& n_star,
+                                              Rng& rng) {
+  JointDegreeMatrix m_star = InitializeJdm(est);
+  AdjustJdm(est, n_star, m_star, JointDegreeMatrix(), rng);
+  return m_star;
+}
+
+JointDegreeMatrix BuildTargetJdm(const LocalEstimates& est,
+                                 DegreeVector& n_star,
+                                 const JointDegreeMatrix& m_prime, Rng& rng) {
+  JointDegreeMatrix m_star = InitializeJdm(est);
+  AdjustJdm(est, n_star, m_star, JointDegreeMatrix(), rng);
+  ModifyJdm(est, static_cast<std::uint32_t>(n_star.size() - 1), m_star,
+            m_prime, rng);
+  if (!m_star.SatisfiesJdm3(n_star)) {
+    // The modification broke some row sums; re-adjust with the subgraph
+    // class edges as hard lower limits so JDM-4 survives (Section IV-C).
+    AdjustJdm(est, n_star, m_star, m_prime, rng);
+  }
+  assert(m_star.SatisfiesJdm1());
+  assert(m_star.SatisfiesJdm2());
+  assert(m_star.SatisfiesJdm3(n_star));
+  assert(m_star.Dominates(m_prime));
+  return m_star;
+}
+
+}  // namespace sgr

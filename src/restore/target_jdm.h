@@ -1,0 +1,47 @@
+#ifndef SGR_RESTORE_TARGET_JDM_H_
+#define SGR_RESTORE_TARGET_JDM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "dk/degree_vector.h"
+#include "dk/joint_degree_matrix.h"
+#include "estimation/estimates.h"
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace sgr {
+
+/// Second phase of the proposed method (Section IV-C): constructs the
+/// target joint degree matrix {m*(k,k')} from the estimates, the target
+/// degree vector, and (for the proposed method) the sampled subgraph.
+///
+/// The returned matrix satisfies JDM-1..JDM-3 with respect to the (possibly
+/// grown) degree vector, and JDM-4 with respect to `m_prime` when provided.
+/// `n_star` is taken by reference: Algorithm 3 may increase entries when a
+/// row sum cannot otherwise reach its target (lines 2-3 and 16-20).
+
+/// Builds m* for the proposed method. `m_prime` must be the class-edge
+/// matrix of the subgraph under the target-degree assignment
+/// (SubgraphClassEdges). Pipeline: initialization, adjustment with zero
+/// lower limits (Algorithm 3), subgraph modification (Algorithm 4), and a
+/// re-adjustment with lower limits m'(k,k') if the modification broke
+/// JDM-3.
+JointDegreeMatrix BuildTargetJdm(const LocalEstimates& est,
+                                 DegreeVector& n_star,
+                                 const JointDegreeMatrix& m_prime, Rng& rng);
+
+/// Estimates-only variant for the Gjoka et al. baseline (Appendix B):
+/// initialization + adjustment, no subgraph modification.
+JointDegreeMatrix BuildTargetJdmFromEstimates(const LocalEstimates& est,
+                                              DegreeVector& n_star, Rng& rng);
+
+/// Error increase Δ±(k,k') of changing m*(k,k') by one relative to the
+/// immediate estimate m̂(k,k') = n̂ k̂̄ P̂(k,k')/µ(k,k'); +infinity when
+/// P̂(k,k') = 0. `direction` is +1 or -1. Exposed for tests.
+double JdmDelta(const LocalEstimates& est, std::uint32_t k,
+                std::uint32_t k_prime, std::int64_t current, int direction);
+
+}  // namespace sgr
+
+#endif  // SGR_RESTORE_TARGET_JDM_H_

@@ -1,0 +1,29 @@
+#include "sampling/bfs.h"
+
+#include <queue>
+#include <unordered_set>
+
+namespace sgr {
+
+SamplingList BfsSample(QueryOracle& oracle, NodeId seed,
+                       std::size_t target_queried) {
+  SamplingList list;
+  list.is_walk = false;
+  std::queue<NodeId> frontier;
+  std::unordered_set<NodeId> discovered;
+  frontier.push(seed);
+  discovered.insert(seed);
+  while (!frontier.empty() && list.NumQueried() < target_queried) {
+    NodeId v = frontier.front();
+    frontier.pop();
+    const std::vector<NodeId>& nbrs = oracle.Query(v);
+    list.visit_sequence.push_back(v);
+    list.neighbors.try_emplace(v, nbrs);
+    for (NodeId w : nbrs) {
+      if (discovered.insert(w).second) frontier.push(w);
+    }
+  }
+  return list;
+}
+
+}  // namespace sgr

@@ -1,0 +1,18 @@
+#ifndef SGR_SAMPLING_BFS_H_
+#define SGR_SAMPLING_BFS_H_
+
+#include <cstddef>
+
+#include "sampling/sampling_list.h"
+
+namespace sgr {
+
+/// Breadth-first search crawl (Section V-D): query the seed, then repeatedly
+/// query the earliest-discovered unqueried node, until `target_queried`
+/// distinct nodes have been queried. Returns a non-walk sampling list.
+SamplingList BfsSample(QueryOracle& oracle, NodeId seed,
+                       std::size_t target_queried);
+
+}  // namespace sgr
+
+#endif  // SGR_SAMPLING_BFS_H_

@@ -1,0 +1,68 @@
+#include "sampling/forest_fire.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace sgr {
+
+SamplingList ForestFireSample(QueryOracle& oracle, NodeId seed,
+                              std::size_t target_queried,
+                              double forward_probability, Rng& rng) {
+  SamplingList list;
+  list.is_walk = false;
+  std::queue<NodeId> frontier;
+  std::unordered_set<NodeId> burned;  // enqueued-or-queried
+  std::vector<NodeId> sampled;        // every node ever seen
+  frontier.push(seed);
+  burned.insert(seed);
+  sampled.push_back(seed);
+
+  // Geometric burst with mean pf/(1-pf): success probability 1 - pf.
+  const double success = 1.0 - forward_probability;
+
+  while (list.NumQueried() < target_queried) {
+    if (frontier.empty()) {
+      // Revive: restart the fire from a uniformly random sampled node whose
+      // neighborhood may still contain unburned nodes.
+      std::vector<NodeId> candidates;
+      for (NodeId v : sampled) {
+        if (list.neighbors.find(v) == list.neighbors.end()) {
+          candidates.push_back(v);
+        }
+      }
+      if (candidates.empty()) break;  // everything reachable is queried
+      NodeId revive = candidates[rng.NextIndex(candidates.size())];
+      frontier.push(revive);
+      burned.insert(revive);
+    }
+    NodeId v = frontier.front();
+    frontier.pop();
+    if (list.neighbors.count(v) > 0) continue;
+    const std::vector<NodeId>& nbrs = oracle.Query(v);
+    list.visit_sequence.push_back(v);
+    list.neighbors.try_emplace(v, nbrs);
+
+    std::vector<NodeId> unburned;
+    for (NodeId w : nbrs) {
+      if (burned.count(w) == 0) unburned.push_back(w);
+    }
+    std::sort(unburned.begin(), unburned.end());
+    unburned.erase(std::unique(unburned.begin(), unburned.end()),
+                   unburned.end());
+    std::shuffle(unburned.begin(), unburned.end(), rng.engine());
+    const std::size_t burst =
+        std::min(unburned.size(), rng.NextGeometric(success));
+    for (std::size_t i = 0; i < unburned.size(); ++i) {
+      sampled.push_back(unburned[i]);
+      if (i < burst) {
+        burned.insert(unburned[i]);
+        frontier.push(unburned[i]);
+      }
+    }
+  }
+  return list;
+}
+
+}  // namespace sgr

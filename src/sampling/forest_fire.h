@@ -1,0 +1,23 @@
+#ifndef SGR_SAMPLING_FOREST_FIRE_H_
+#define SGR_SAMPLING_FOREST_FIRE_H_
+
+#include <cstddef>
+
+#include "sampling/sampling_list.h"
+#include "util/rng.h"
+
+namespace sgr {
+
+/// Forest-fire sampling (Section V-D): a stochastic snowball. From each
+/// queried node the fire spreads to x unvisited neighbors, where x is drawn
+/// from a geometric distribution with mean pf / (1 - pf) (the paper uses
+/// pf = 0.7 following Ahmed et al.). If the fire dies out before
+/// `target_queried` distinct nodes are queried, it revives from a node
+/// chosen uniformly at random among the sampled nodes, as in Kurant et al.
+SamplingList ForestFireSample(QueryOracle& oracle, NodeId seed,
+                              std::size_t target_queried,
+                              double forward_probability, Rng& rng);
+
+}  // namespace sgr
+
+#endif  // SGR_SAMPLING_FOREST_FIRE_H_

@@ -1,0 +1,52 @@
+#include "sampling/frontier.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace sgr {
+
+SamplingList FrontierSample(QueryOracle& oracle,
+                            const std::vector<NodeId>& seeds,
+                            std::size_t target_queried, Rng& rng,
+                            std::size_t max_steps) {
+  assert(!seeds.empty() && "frontier sampling requires at least one seed");
+  SamplingList list;
+  list.is_walk = true;
+
+  // Initialize walker positions; each position is queried so its degree is
+  // known for the degree-proportional walker choice.
+  std::vector<NodeId> walkers = seeds;
+  std::vector<std::size_t> degrees(walkers.size());
+  for (std::size_t i = 0; i < walkers.size(); ++i) {
+    const auto& nbrs = oracle.Query(walkers[i]);
+    assert(!nbrs.empty());
+    list.visit_sequence.push_back(walkers[i]);
+    list.neighbors.try_emplace(walkers[i], nbrs);
+    degrees[i] = nbrs.size();
+  }
+
+  while (list.NumQueried() < target_queried &&
+         (max_steps == 0 || list.visit_sequence.size() < max_steps)) {
+    // Choose a walker proportionally to its degree.
+    const auto total = std::accumulate(degrees.begin(), degrees.end(),
+                                       std::size_t{0});
+    std::size_t draw = rng.NextIndex(total);
+    std::size_t chosen = 0;
+    while (draw >= degrees[chosen]) {
+      draw -= degrees[chosen];
+      ++chosen;
+    }
+    // Move it across a uniform incident edge.
+    const auto& nbrs = list.neighbors.at(walkers[chosen]);
+    const NodeId next = nbrs[rng.NextIndex(nbrs.size())];
+    const auto& next_nbrs = oracle.Query(next);
+    assert(!next_nbrs.empty());
+    list.visit_sequence.push_back(next);
+    list.neighbors.try_emplace(next, next_nbrs);
+    walkers[chosen] = next;
+    degrees[chosen] = next_nbrs.size();
+  }
+  return list;
+}
+
+}  // namespace sgr

@@ -1,0 +1,114 @@
+#include "sampling/list_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace sgr {
+
+namespace {
+constexpr char kHeader[] = "# sgr-sampling-list v1";
+}  // namespace
+
+void WriteSamplingList(const SamplingList& list, std::ostream& out) {
+  out << kHeader << "\n";
+  out << "walk " << (list.is_walk ? 1 : 0) << "\n";
+  out << "seq " << list.visit_sequence.size();
+  for (NodeId v : list.visit_sequence) out << " " << v;
+  out << "\n";
+  // Deterministic order for diff-friendliness.
+  std::vector<NodeId> queried;
+  queried.reserve(list.neighbors.size());
+  for (const auto& [v, nbrs] : list.neighbors) {
+    (void)nbrs;
+    queried.push_back(v);
+  }
+  std::sort(queried.begin(), queried.end());
+  for (NodeId v : queried) {
+    const auto& nbrs = list.neighbors.at(v);
+    out << "node " << v << " " << nbrs.size();
+    for (NodeId w : nbrs) out << " " << w;
+    out << "\n";
+  }
+}
+
+void WriteSamplingListFile(const SamplingList& list,
+                           const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("WriteSamplingListFile: cannot open '" + path +
+                             "'");
+  }
+  WriteSamplingList(list, out);
+}
+
+SamplingList ReadSamplingList(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    throw std::runtime_error("ReadSamplingList: missing header");
+  }
+  SamplingList list;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    std::string tag;
+    fields >> tag;
+    if (tag == "walk") {
+      int flag = 0;
+      if (!(fields >> flag)) {
+        throw std::runtime_error("ReadSamplingList: malformed walk line");
+      }
+      list.is_walk = (flag != 0);
+    } else if (tag == "seq") {
+      std::size_t count = 0;
+      if (!(fields >> count)) {
+        throw std::runtime_error("ReadSamplingList: malformed seq line");
+      }
+      list.visit_sequence.resize(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        if (!(fields >> list.visit_sequence[i])) {
+          throw std::runtime_error("ReadSamplingList: truncated seq line");
+        }
+      }
+    } else if (tag == "node") {
+      NodeId v = 0;
+      std::size_t degree = 0;
+      if (!(fields >> v >> degree)) {
+        throw std::runtime_error("ReadSamplingList: malformed node line");
+      }
+      std::vector<NodeId> nbrs(degree);
+      for (std::size_t i = 0; i < degree; ++i) {
+        if (!(fields >> nbrs[i])) {
+          throw std::runtime_error("ReadSamplingList: truncated node line");
+        }
+      }
+      list.neighbors[v] = std::move(nbrs);
+    } else {
+      throw std::runtime_error("ReadSamplingList: unknown record '" + tag +
+                               "'");
+    }
+  }
+  for (NodeId v : list.visit_sequence) {
+    if (list.neighbors.find(v) == list.neighbors.end()) {
+      throw std::runtime_error(
+          "ReadSamplingList: trajectory node " + std::to_string(v) +
+          " has no neighbor record");
+    }
+  }
+  return list;
+}
+
+SamplingList ReadSamplingListFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("ReadSamplingListFile: cannot open '" + path +
+                             "'");
+  }
+  return ReadSamplingList(in);
+}
+
+}  // namespace sgr

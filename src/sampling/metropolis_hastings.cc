@@ -1,0 +1,44 @@
+#include "sampling/metropolis_hastings.h"
+
+#include <cassert>
+
+namespace sgr {
+
+SamplingList MetropolisHastingsWalkSample(QueryOracle& oracle, NodeId seed,
+                                          std::size_t target_queried,
+                                          Rng& rng,
+                                          std::size_t max_steps) {
+  SamplingList list;
+  list.is_walk = true;
+  NodeId current = seed;
+  while (true) {
+    const std::vector<NodeId>& nbrs = oracle.Query(current);
+    assert(!nbrs.empty() && "walk reached an isolated node");
+    list.visit_sequence.push_back(current);
+    list.neighbors.try_emplace(current, nbrs);
+    if (list.NumQueried() >= target_queried) break;
+    if (max_steps != 0 && list.visit_sequence.size() >= max_steps) break;
+
+    const NodeId proposal = nbrs[rng.NextIndex(nbrs.size())];
+    // Acceptance needs d(proposal), which requires querying it — the
+    // standard MHRW query cost. The oracle memoizes repeat queries of the
+    // same node, matching how crawlers cache neighbor lists in practice.
+    const std::size_t d_current = nbrs.size();
+    const std::vector<NodeId>& proposal_nbrs = oracle.Query(proposal);
+    // The proposal's neighbor list was paid for; keep it in the sampling
+    // list like any crawler caches fetched data.
+    list.neighbors.try_emplace(proposal, proposal_nbrs);
+    const std::size_t d_proposal = proposal_nbrs.size();
+    const double accept = static_cast<double>(d_current) /
+                          static_cast<double>(d_proposal);
+    if (accept >= 1.0 || rng.NextBernoulli(accept)) {
+      current = proposal;
+    }
+    // Rejected proposals leave `current` unchanged; the next loop
+    // iteration records the repeat visit, preserving the Markov chain's
+    // sojourn-time statistics that make sample means unbiased.
+  }
+  return list;
+}
+
+}  // namespace sgr

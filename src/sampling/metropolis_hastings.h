@@ -1,0 +1,32 @@
+#ifndef SGR_SAMPLING_METROPOLIS_HASTINGS_H_
+#define SGR_SAMPLING_METROPOLIS_HASTINGS_H_
+
+#include <cstddef>
+
+#include "sampling/sampling_list.h"
+#include "util/rng.h"
+
+namespace sgr {
+
+/// Metropolis-Hastings random walk (Gjoka et al., INFOCOM 2010 — the other
+/// classic unbiased crawler alongside re-weighted random walk in the
+/// framework the paper builds on).
+///
+/// From node v, propose a uniform neighbor w and accept the move with
+/// probability min(1, d(v)/d(w)); otherwise stay at v (the self-transition
+/// is recorded as another visit to v). The stationary distribution over
+/// nodes is uniform, so *plain sample means* over the trajectory are
+/// unbiased — no re-weighting needed. Provided as an alternative crawler
+/// for subgraph sampling and for estimator cross-checks; the restoration
+/// pipeline itself expects re-weighted simple-walk samples.
+///
+/// Stops once `target_queried` distinct nodes have been queried;
+/// `max_steps` caps the trajectory (0 = no cap).
+SamplingList MetropolisHastingsWalkSample(QueryOracle& oracle, NodeId seed,
+                                          std::size_t target_queried,
+                                          Rng& rng,
+                                          std::size_t max_steps = 0);
+
+}  // namespace sgr
+
+#endif  // SGR_SAMPLING_METROPOLIS_HASTINGS_H_

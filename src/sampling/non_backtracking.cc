@@ -1,0 +1,58 @@
+#include "sampling/non_backtracking.h"
+
+#include <cassert>
+
+namespace sgr {
+
+SamplingList NonBacktrackingWalkSample(QueryOracle& oracle, NodeId seed,
+                                       std::size_t target_queried, Rng& rng,
+                                       std::size_t max_steps) {
+  SamplingList list;
+  list.is_walk = true;
+  NodeId current = seed;
+  bool has_previous = false;
+  NodeId previous = seed;
+  while (true) {
+    const std::vector<NodeId>& nbrs = oracle.Query(current);
+    assert(!nbrs.empty() && "walk reached an isolated node");
+    list.visit_sequence.push_back(current);
+    list.neighbors.try_emplace(current, nbrs);
+    if (list.NumQueried() >= target_queried) break;
+    if (max_steps != 0 && list.visit_sequence.size() >= max_steps) break;
+
+    NodeId next;
+    if (!has_previous || nbrs.size() == 1) {
+      // First step, or a degree-1 dead end: plain uniform choice
+      // (backtracking is the only option at a leaf).
+      next = nbrs[rng.NextIndex(nbrs.size())];
+    } else {
+      // Uniform over incident edges that do not return to `previous`.
+      // Rejection sampling is exact and O(1) expected because at most
+      // one distinct neighbor is excluded (multi-edge copies of the
+      // previous node are all excluded; retry until a non-previous
+      // endpoint is drawn — guaranteed to exist since the walk arrived
+      // through one of >= 2 distinct neighbors... if all neighbors equal
+      // `previous` (parallel edges only), fall back to backtracking).
+      bool all_previous = true;
+      for (NodeId w : nbrs) {
+        if (w != previous) {
+          all_previous = false;
+          break;
+        }
+      }
+      if (all_previous) {
+        next = previous;
+      } else {
+        do {
+          next = nbrs[rng.NextIndex(nbrs.size())];
+        } while (next == previous);
+      }
+    }
+    previous = current;
+    has_previous = true;
+    current = next;
+  }
+  return list;
+}
+
+}  // namespace sgr

@@ -1,0 +1,33 @@
+#ifndef SGR_SAMPLING_NON_BACKTRACKING_H_
+#define SGR_SAMPLING_NON_BACKTRACKING_H_
+
+#include <cstddef>
+
+#include "sampling/sampling_list.h"
+#include "util/rng.h"
+
+namespace sgr {
+
+/// Non-backtracking random walk (Lee, Xu & Eun, SIGMETRICS 2012 — cited in
+/// the paper's related work as an improved walk that can be combined with
+/// the proposed method; Section II notes the combination "is not trivial"
+/// but possible).
+///
+/// At each step the walker moves to a neighbor chosen uniformly at random
+/// *excluding the node it just came from*, falling back to backtracking
+/// only at degree-1 nodes. The stationary distribution over nodes remains
+/// degree-proportional, so the re-weighted estimators stay applicable —
+/// except the clustering estimator, whose interior term A_{x_{i-1},x_{i+1}}
+/// has a different conditional law; pass
+/// EstimatorOptions::walk_type = WalkType::kNonBacktracking to apply the
+/// corrected normalizer (see estimators.h).
+///
+/// Stops once `target_queried` distinct nodes have been queried
+/// (`max_steps` caps the trajectory length; 0 = no cap).
+SamplingList NonBacktrackingWalkSample(QueryOracle& oracle, NodeId seed,
+                                       std::size_t target_queried, Rng& rng,
+                                       std::size_t max_steps = 0);
+
+}  // namespace sgr
+
+#endif  // SGR_SAMPLING_NON_BACKTRACKING_H_

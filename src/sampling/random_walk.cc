@@ -1,0 +1,25 @@
+#include "sampling/random_walk.h"
+
+#include <cassert>
+
+namespace sgr {
+
+SamplingList RandomWalkSample(QueryOracle& oracle, NodeId seed,
+                              std::size_t target_queried, Rng& rng,
+                              std::size_t max_steps) {
+  SamplingList list;
+  list.is_walk = true;
+  NodeId current = seed;
+  while (true) {
+    const std::vector<NodeId>& nbrs = oracle.Query(current);
+    assert(!nbrs.empty() && "random walk reached an isolated node");
+    list.visit_sequence.push_back(current);
+    list.neighbors.try_emplace(current, nbrs);
+    if (list.NumQueried() >= target_queried) break;
+    if (max_steps != 0 && list.visit_sequence.size() >= max_steps) break;
+    current = nbrs[rng.NextIndex(nbrs.size())];
+  }
+  return list;
+}
+
+}  // namespace sgr

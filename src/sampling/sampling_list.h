@@ -1,0 +1,73 @@
+#ifndef SGR_SAMPLING_SAMPLING_LIST_H_
+#define SGR_SAMPLING_SAMPLING_LIST_H_
+
+#include <cstddef>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace sgr {
+
+/// Query access model of Section III-A: querying a node returns its
+/// neighbor list; complete or random access to the graph is not possible.
+///
+/// Every crawler in this library touches the original graph only through
+/// this oracle, which makes the information boundary of the problem explicit
+/// and lets tests assert how many queries a method spent.
+class QueryOracle {
+ public:
+  explicit QueryOracle(const Graph& g) : graph_(&g) {}
+
+  /// Returns N(v): one entry per incident edge endpoint.
+  /// Counts the first query to each distinct node.
+  const std::vector<NodeId>& Query(NodeId v) {
+    if (queried_.insert({v, true}).second) ++unique_queries_;
+    return graph_->adjacency(v);
+  }
+
+  /// Number of distinct nodes queried so far.
+  std::size_t unique_queries() const { return unique_queries_; }
+
+  /// Number of nodes in the hidden graph. Exposed for the experiment
+  /// harness only (to express budgets as "percent of nodes queried" as the
+  /// paper does); restoration methods must not call this.
+  std::size_t HiddenNumNodes() const { return graph_->NumNodes(); }
+
+ private:
+  const Graph* graph_;
+  std::unordered_map<NodeId, bool> queried_;
+  std::size_t unique_queries_ = 0;
+};
+
+/// The sampling list L = ((x_i, N(x_i)))_{i=1..r} of Section III-B, plus the
+/// analogous record for non-walk crawlers.
+///
+/// For a random walk, `visit_sequence` is the full node sequence
+/// x_1, ..., x_r (with repetitions — the Markov chain trajectory). For BFS,
+/// snowball, and forest fire, `visit_sequence` is the order in which nodes
+/// were queried (no repetitions) and `is_walk` is false; such samples
+/// support subgraph induction but not re-weighted estimation.
+struct SamplingList {
+  /// Sequence of sampled nodes, in original-graph id space.
+  std::vector<NodeId> visit_sequence;
+
+  /// Neighbor list of every queried node (original ids).
+  std::unordered_map<NodeId, std::vector<NodeId>> neighbors;
+
+  /// Whether `visit_sequence` is a Markov-chain trajectory.
+  bool is_walk = false;
+
+  /// Number of walk steps r (or queried nodes for crawls).
+  std::size_t Length() const { return visit_sequence.size(); }
+
+  /// Number of distinct queried nodes.
+  std::size_t NumQueried() const { return neighbors.size(); }
+
+  /// Degree (in the original graph) of a queried node.
+  std::size_t DegreeOf(NodeId v) const { return neighbors.at(v).size(); }
+};
+
+}  // namespace sgr
+
+#endif  // SGR_SAMPLING_SAMPLING_LIST_H_

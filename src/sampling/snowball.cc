@@ -1,0 +1,55 @@
+#include "sampling/snowball.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace sgr {
+
+SamplingList SnowballSample(QueryOracle& oracle, NodeId seed,
+                            std::size_t target_queried,
+                            std::size_t max_neighbors, Rng& rng) {
+  SamplingList list;
+  list.is_walk = false;
+  std::queue<NodeId> frontier;
+  std::unordered_set<NodeId> enqueued;
+  std::vector<NodeId> discovered_pool;  // discovered but maybe unqueried
+  frontier.push(seed);
+  enqueued.insert(seed);
+  while (list.NumQueried() < target_queried) {
+    if (frontier.empty()) {
+      // Revive from a random discovered-but-unqueried node, if any remain.
+      std::vector<NodeId> candidates;
+      for (NodeId v : discovered_pool) {
+        if (list.neighbors.find(v) == list.neighbors.end()) {
+          candidates.push_back(v);
+        }
+      }
+      if (candidates.empty()) break;  // component exhausted
+      frontier.push(candidates[rng.NextIndex(candidates.size())]);
+    }
+    NodeId v = frontier.front();
+    frontier.pop();
+    if (list.neighbors.count(v) > 0) continue;
+    const std::vector<NodeId>& nbrs = oracle.Query(v);
+    list.visit_sequence.push_back(v);
+    list.neighbors.try_emplace(v, nbrs);
+
+    // Choose up to `max_neighbors` distinct neighbors uniformly at random.
+    std::vector<NodeId> unique(nbrs.begin(), nbrs.end());
+    std::sort(unique.begin(), unique.end());
+    unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+    std::shuffle(unique.begin(), unique.end(), rng.engine());
+    const std::size_t follow = std::min(max_neighbors, unique.size());
+    for (std::size_t i = 0; i < unique.size(); ++i) {
+      discovered_pool.push_back(unique[i]);
+      if (i < follow && enqueued.insert(unique[i]).second) {
+        frontier.push(unique[i]);
+      }
+    }
+  }
+  return list;
+}
+
+}  // namespace sgr

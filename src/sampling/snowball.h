@@ -1,0 +1,24 @@
+#ifndef SGR_SAMPLING_SNOWBALL_H_
+#define SGR_SAMPLING_SNOWBALL_H_
+
+#include <cstddef>
+
+#include "sampling/sampling_list.h"
+#include "util/rng.h"
+
+namespace sgr {
+
+/// Snowball sampling (Section V-D): breadth-first crawl in which at most
+/// `max_neighbors` uniformly chosen neighbors are followed from each queried
+/// node (the paper uses k = 50 following Rozemberczki et al.). Stops once
+/// `target_queried` distinct nodes have been queried. If the frontier dies
+/// out before the budget is reached (possible since not all neighbors are
+/// followed), the crawl revives from a uniformly random already-discovered
+/// unqueried node.
+SamplingList SnowballSample(QueryOracle& oracle, NodeId seed,
+                            std::size_t target_queried,
+                            std::size_t max_neighbors, Rng& rng);
+
+}  // namespace sgr
+
+#endif  // SGR_SAMPLING_SNOWBALL_H_

@@ -1,0 +1,47 @@
+#include "sampling/subgraph.h"
+
+#include <algorithm>
+
+namespace sgr {
+
+std::size_t Subgraph::NumQueried() const {
+  return static_cast<std::size_t>(
+      std::count(is_queried.begin(), is_queried.end(), true));
+}
+
+Subgraph BuildSubgraph(const SamplingList& list) {
+  Subgraph sub;
+  auto intern = [&sub](NodeId original, bool queried) {
+    auto [it, inserted] = sub.from_original.try_emplace(original, NodeId{0});
+    if (inserted) {
+      it->second = sub.graph.AddNode();
+      sub.to_original.push_back(original);
+      sub.is_queried.push_back(queried);
+    } else if (queried) {
+      sub.is_queried[it->second] = true;
+    }
+    return it->second;
+  };
+
+  // Intern queried nodes first so their flags are set before edges are laid
+  // down, then add each edge of E' exactly once: an edge between two queried
+  // nodes appears in both neighbor lists and is added only from the
+  // lower-original-id side; an edge to a visible node appears in exactly one
+  // neighbor list.
+  for (const auto& [u, nbrs] : list.neighbors) {
+    (void)nbrs;
+    intern(u, /*queried=*/true);
+  }
+  for (const auto& [u, nbrs] : list.neighbors) {
+    const NodeId su = sub.from_original.at(u);
+    for (NodeId w : nbrs) {
+      const bool w_queried = list.neighbors.count(w) > 0;
+      if (w_queried && !(u < w)) continue;  // added from the other side
+      const NodeId sw = intern(w, w_queried);
+      sub.graph.AddEdge(su, sw);
+    }
+  }
+  return sub;
+}
+
+}  // namespace sgr

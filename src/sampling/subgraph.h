@@ -1,0 +1,46 @@
+#ifndef SGR_SAMPLING_SUBGRAPH_H_
+#define SGR_SAMPLING_SUBGRAPH_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+#include "sampling/sampling_list.h"
+
+namespace sgr {
+
+/// The subgraph G' = (V', E') induced from the union of queried neighbor
+/// lists (Section III-D).
+///
+/// V' is the disjoint union of the queried nodes V'qry and the visible nodes
+/// V'vis (neighbors of queried nodes that were never queried themselves).
+/// E' contains every edge incident to a queried node, exactly once. Nodes
+/// are densely renumbered; the mapping back to original-graph ids is kept
+/// for tests and the experiment harness.
+struct Subgraph {
+  /// G' with dense node ids [0, NumNodes()).
+  Graph graph;
+
+  /// is_queried[v] == true iff subgraph node v is in V'qry.
+  std::vector<bool> is_queried;
+
+  /// Subgraph id -> original-graph id.
+  std::vector<NodeId> to_original;
+
+  /// Original-graph id -> subgraph id.
+  std::unordered_map<NodeId, NodeId> from_original;
+
+  /// Number of queried nodes |V'qry|.
+  std::size_t NumQueried() const;
+
+  /// Number of visible nodes |V'vis|.
+  std::size_t NumVisible() const { return graph.NumNodes() - NumQueried(); }
+};
+
+/// Builds G' from a sampling list. Lemma 1 of the paper holds on the result:
+/// queried nodes have their true degree, visible nodes a lower bound.
+Subgraph BuildSubgraph(const SamplingList& list);
+
+}  // namespace sgr
+
+#endif  // SGR_SAMPLING_SUBGRAPH_H_

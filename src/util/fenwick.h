@@ -1,0 +1,88 @@
+#ifndef SGR_UTIL_FENWICK_H_
+#define SGR_UTIL_FENWICK_H_
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace sgr {
+
+/// Fenwick (binary indexed) tree over non-negative integer counts.
+///
+/// Supports point updates, prefix sums, and O(log n) sampling of an index
+/// proportional to its count. The restoration pipeline uses it to draw a
+/// target degree uniformly from the multiset Dseq(i) in Algorithm 2 without
+/// materializing the multiset (which would be O(k*_max) per visible node).
+class FenwickTree {
+ public:
+  /// Creates a tree over indices [0, size).
+  explicit FenwickTree(std::size_t size) : tree_(size + 1, 0), total_(0) {}
+
+  /// Number of indices covered.
+  std::size_t size() const { return tree_.size() - 1; }
+
+  /// Adds `delta` to the count at `index`. The resulting count must remain
+  /// non-negative (checked in debug builds via the running total).
+  void Add(std::size_t index, std::int64_t delta) {
+    assert(index < size());
+    total_ += delta;
+    assert(total_ >= 0);
+    for (std::size_t i = index + 1; i < tree_.size(); i += i & (~i + 1)) {
+      tree_[i] += delta;
+    }
+  }
+
+  /// Returns the sum of counts over [0, index] (inclusive).
+  std::int64_t PrefixSum(std::size_t index) const {
+    if (tree_.empty()) return 0;
+    if (index >= size()) index = size() - 1;
+    std::int64_t sum = 0;
+    for (std::size_t i = index + 1; i > 0; i -= i & (~i + 1)) {
+      sum += tree_[i];
+    }
+    return sum;
+  }
+
+  /// Returns the sum of counts over [lo, hi] (inclusive). Empty if lo > hi.
+  std::int64_t RangeSum(std::size_t lo, std::size_t hi) const {
+    if (lo > hi) return 0;
+    std::int64_t below = (lo == 0) ? 0 : PrefixSum(lo - 1);
+    return PrefixSum(hi) - below;
+  }
+
+  /// Total of all counts.
+  std::int64_t Total() const { return total_; }
+
+  /// Returns the smallest index whose prefix sum is strictly greater than
+  /// `target`. Requires 0 <= target < Total(). With counts c[i], passing a
+  /// uniform target selects index i with probability c[i] / Total().
+  std::size_t FindByPrefix(std::int64_t target) const {
+    assert(target >= 0 && target < total_);
+    std::size_t pos = 0;
+    std::size_t mask = HighestPow2(tree_.size() - 1);
+    std::int64_t remaining = target;
+    while (mask > 0) {
+      std::size_t next = pos + mask;
+      if (next < tree_.size() && tree_[next] <= remaining) {
+        pos = next;
+        remaining -= tree_[next];
+      }
+      mask >>= 1;
+    }
+    return pos;  // pos is 0-based index (tree is 1-based internally).
+  }
+
+ private:
+  static std::size_t HighestPow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p * 2 <= n) p *= 2;
+    return n == 0 ? 0 : p;
+  }
+
+  std::vector<std::int64_t> tree_;
+  std::int64_t total_;
+};
+
+}  // namespace sgr
+
+#endif  // SGR_UTIL_FENWICK_H_

@@ -1,0 +1,37 @@
+#include "util/rng.h"
+
+#include <cassert>
+
+namespace sgr {
+
+std::size_t Rng::NextIndex(std::size_t bound) {
+  assert(bound > 0 && "NextIndex requires a positive bound");
+  std::uniform_int_distribution<std::size_t> dist(0, bound - 1);
+  return dist(engine_);
+}
+
+std::int64_t Rng::NextInt(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::NextReal() {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(engine_);
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextReal() < p;
+}
+
+std::size_t Rng::NextGeometric(double p) {
+  if (p >= 1.0) return 0;
+  if (p <= 0.0) return 0;
+  std::geometric_distribution<std::size_t> dist(p);
+  return dist(engine_);
+}
+
+}  // namespace sgr

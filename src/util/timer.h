@@ -1,0 +1,29 @@
+#ifndef SGR_UTIL_TIMER_H_
+#define SGR_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace sgr {
+
+/// Wall-clock stopwatch used by the experiment runner to report generation
+/// times (Table IV / Table V of the paper).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace sgr
+
+#endif  // SGR_UTIL_TIMER_H_

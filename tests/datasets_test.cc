@@ -1,0 +1,76 @@
+#include "exp/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "graph/components.h"
+
+namespace sgr {
+namespace {
+
+TEST(DatasetsTest, RegistryHasSixStandardDatasets) {
+  const auto specs = StandardDatasets();
+  ASSERT_EQ(specs.size(), 6u);
+  EXPECT_EQ(specs[0].name, "anybeat");
+  EXPECT_EQ(specs[5].name, "livemocha");
+  // Paper reference sizes from Table I.
+  EXPECT_EQ(specs[0].paper_nodes, 12645u);
+  EXPECT_EQ(specs[5].paper_edges, 2193083u);
+}
+
+TEST(DatasetsTest, YoutubeIsLargest) {
+  const DatasetSpec yt = YoutubeDataset();
+  EXPECT_EQ(yt.name, "youtube");
+  for (const auto& spec : StandardDatasets()) {
+    EXPECT_GT(yt.num_nodes, spec.num_nodes);
+  }
+}
+
+TEST(DatasetsTest, DatasetByNameFindsAll) {
+  EXPECT_EQ(DatasetByName("gowalla").name, "gowalla");
+  EXPECT_EQ(DatasetByName("youtube").name, "youtube");
+  EXPECT_THROW(DatasetByName("facebook"), std::out_of_range);
+}
+
+TEST(DatasetsTest, LoadedDatasetsAreSimpleConnected) {
+  // Generated stand-ins must satisfy the paper's preprocessing contract.
+  unsetenv("SGR_DATASET_DIR");
+  setenv("SGR_DATASET_SCALE", "0.2", 1);  // keep the test fast
+  for (const auto& spec : StandardDatasets()) {
+    const Graph g = LoadDataset(spec);
+    EXPECT_TRUE(g.IsSimple()) << spec.name;
+    EXPECT_TRUE(IsConnected(g)) << spec.name;
+    EXPECT_GT(g.NumNodes(), spec.num_nodes / 10) << spec.name;
+  }
+  unsetenv("SGR_DATASET_SCALE");
+}
+
+TEST(DatasetsTest, ScaleEnvControlsSize) {
+  unsetenv("SGR_DATASET_DIR");
+  const DatasetSpec spec = DatasetByName("anybeat");
+  setenv("SGR_DATASET_SCALE", "0.1", 1);
+  const Graph small = LoadDataset(spec);
+  setenv("SGR_DATASET_SCALE", "0.3", 1);
+  const Graph big = LoadDataset(spec);
+  unsetenv("SGR_DATASET_SCALE");
+  EXPECT_LT(small.NumNodes(), big.NumNodes());
+}
+
+TEST(DatasetsTest, GenerationIsDeterministic) {
+  unsetenv("SGR_DATASET_DIR");
+  setenv("SGR_DATASET_SCALE", "0.1", 1);
+  const DatasetSpec spec = DatasetByName("epinions");
+  const Graph a = LoadDataset(spec);
+  const Graph b = LoadDataset(spec);
+  unsetenv("SGR_DATASET_SCALE");
+  ASSERT_EQ(a.NumNodes(), b.NumNodes());
+  ASSERT_EQ(a.NumEdges(), b.NumEdges());
+  for (EdgeId e = 0; e < a.NumEdges(); ++e) {
+    EXPECT_EQ(a.edge(e).u, b.edge(e).u);
+    EXPECT_EQ(a.edge(e).v, b.edge(e).v);
+  }
+}
+
+}  // namespace
+}  // namespace sgr

@@ -1,0 +1,34 @@
+#include "dk/degree_vector.h"
+
+#include <gtest/gtest.h>
+
+namespace sgr {
+namespace {
+
+TEST(DegreeVectorTest, NodeAndDegreeSums) {
+  const DegreeVector dv = {0, 3, 2, 1};  // 3 deg-1, 2 deg-2, 1 deg-3
+  EXPECT_EQ(DegreeVectorNodes(dv), 6);
+  EXPECT_EQ(DegreeVectorTotalDegree(dv), 3 + 4 + 3);
+}
+
+TEST(DegreeVectorTest, EmptyVector) {
+  const DegreeVector dv;
+  EXPECT_EQ(DegreeVectorNodes(dv), 0);
+  EXPECT_EQ(DegreeVectorTotalDegree(dv), 0);
+  EXPECT_TRUE(SatisfiesDv1(dv));
+  EXPECT_TRUE(SatisfiesDv2(dv));
+}
+
+TEST(DegreeVectorTest, Dv1DetectsNegative) {
+  EXPECT_TRUE(SatisfiesDv1({0, 1, 2}));
+  EXPECT_FALSE(SatisfiesDv1({0, -1, 2}));
+}
+
+TEST(DegreeVectorTest, Dv2Parity) {
+  EXPECT_TRUE(SatisfiesDv2({0, 2, 1}));   // 2 + 2 = 4 even
+  EXPECT_FALSE(SatisfiesDv2({0, 1, 1}));  // 1 + 2 = 3 odd
+  EXPECT_TRUE(SatisfiesDv2({0, 0, 5}));   // 10 even
+}
+
+}  // namespace
+}  // namespace sgr

@@ -1,0 +1,99 @@
+#include "util/fenwick.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/rng.h"
+
+namespace sgr {
+namespace {
+
+TEST(FenwickTest, PrefixSums) {
+  FenwickTree t(8);
+  t.Add(0, 5);
+  t.Add(3, 2);
+  t.Add(7, 1);
+  EXPECT_EQ(t.PrefixSum(0), 5);
+  EXPECT_EQ(t.PrefixSum(2), 5);
+  EXPECT_EQ(t.PrefixSum(3), 7);
+  EXPECT_EQ(t.PrefixSum(7), 8);
+  EXPECT_EQ(t.Total(), 8);
+}
+
+TEST(FenwickTest, RangeSum) {
+  FenwickTree t(10);
+  for (std::size_t i = 0; i < 10; ++i) t.Add(i, static_cast<int>(i));
+  EXPECT_EQ(t.RangeSum(0, 9), 45);
+  EXPECT_EQ(t.RangeSum(3, 5), 3 + 4 + 5);
+  EXPECT_EQ(t.RangeSum(5, 3), 0);  // empty range
+  EXPECT_EQ(t.RangeSum(9, 9), 9);
+}
+
+TEST(FenwickTest, FindByPrefixSelectsProportionally) {
+  FenwickTree t(4);
+  t.Add(1, 3);
+  t.Add(2, 1);
+  // Counts: [0,3,1,0]; prefix targets 0,1,2 -> index 1; 3 -> index 2.
+  EXPECT_EQ(t.FindByPrefix(0), 1u);
+  EXPECT_EQ(t.FindByPrefix(1), 1u);
+  EXPECT_EQ(t.FindByPrefix(2), 1u);
+  EXPECT_EQ(t.FindByPrefix(3), 2u);
+}
+
+TEST(FenwickTest, AddAndRemove) {
+  FenwickTree t(5);
+  t.Add(2, 4);
+  t.Add(2, -3);
+  EXPECT_EQ(t.RangeSum(2, 2), 1);
+  t.Add(2, -1);
+  EXPECT_EQ(t.Total(), 0);
+}
+
+TEST(FenwickTest, MatchesBruteForceUnderRandomOps) {
+  Rng rng(77);
+  const std::size_t size = 64;
+  FenwickTree t(size);
+  std::map<std::size_t, std::int64_t> reference;
+  for (int op = 0; op < 2000; ++op) {
+    const std::size_t idx = rng.NextIndex(size);
+    const std::int64_t cur = reference.count(idx) ? reference[idx] : 0;
+    // Keep counts non-negative.
+    const std::int64_t delta =
+        rng.NextBernoulli(0.6) ? 1 : (cur > 0 ? -1 : 1);
+    reference[idx] = cur + delta;
+    t.Add(idx, delta);
+  }
+  std::int64_t run = 0;
+  for (std::size_t i = 0; i < size; ++i) {
+    run += reference.count(i) ? reference[i] : 0;
+    ASSERT_EQ(t.PrefixSum(i), run) << "prefix mismatch at " << i;
+  }
+  // Sampling returns only indices with positive count.
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::int64_t target = rng.NextInt(0, t.Total() - 1);
+    const std::size_t idx = t.FindByPrefix(target);
+    ASSERT_GT(t.RangeSum(idx, idx), 0);
+  }
+}
+
+TEST(FenwickTest, SamplingDistributionIsProportional) {
+  Rng rng(99);
+  FenwickTree t(3);
+  t.Add(0, 1);
+  t.Add(2, 3);
+  int hits0 = 0;
+  int hits2 = 0;
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) {
+    const std::size_t idx =
+        t.FindByPrefix(rng.NextInt(0, t.Total() - 1));
+    if (idx == 0) ++hits0;
+    if (idx == 2) ++hits2;
+  }
+  EXPECT_EQ(hits0 + hits2, trials);
+  EXPECT_NEAR(static_cast<double>(hits2) / hits0, 3.0, 0.3);
+}
+
+}  // namespace
+}  // namespace sgr

@@ -1,0 +1,78 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/generators.h"
+
+namespace sgr {
+namespace {
+
+TEST(IoTest, ReadEdgeListBasic) {
+  std::istringstream in("0 1\n1 2\n2 0\n");
+  const Graph g = ReadEdgeList(in);
+  EXPECT_EQ(g.NumNodes(), 3u);
+  EXPECT_EQ(g.NumEdges(), 3u);
+  EXPECT_TRUE(g.HasEdge(0, 1));
+}
+
+TEST(IoTest, ReadEdgeListSkipsComments) {
+  std::istringstream in("# header\n% another\n5 7\n");
+  const Graph g = ReadEdgeList(in);
+  EXPECT_EQ(g.NumNodes(), 2u);
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(IoTest, ReadEdgeListRenumbersSparseIds) {
+  std::istringstream in("100 200\n200 300\n");
+  const Graph g = ReadEdgeList(in);
+  EXPECT_EQ(g.NumNodes(), 3u);
+  EXPECT_TRUE(g.HasEdge(0, 1));  // 100->0, 200->1
+  EXPECT_TRUE(g.HasEdge(1, 2));  // 300->2
+}
+
+TEST(IoTest, ReadEdgeListRejectsMalformed) {
+  std::istringstream in("0 1\nnot numbers\n");
+  EXPECT_THROW(ReadEdgeList(in), std::runtime_error);
+}
+
+TEST(IoTest, ReadEdgeListRejectsNegative) {
+  std::istringstream in("-1 2\n");
+  EXPECT_THROW(ReadEdgeList(in), std::runtime_error);
+}
+
+TEST(IoTest, RoundTripPreservesStructure) {
+  Rng rng(21);
+  const Graph g = GeneratePowerlawCluster(200, 3, 0.4, rng);
+  std::stringstream buffer;
+  WriteEdgeList(g, buffer);
+  const Graph back = ReadEdgeList(buffer);
+  EXPECT_EQ(back.NumNodes(), g.NumNodes());
+  EXPECT_EQ(back.NumEdges(), g.NumEdges());
+  for (const Edge& e : g.edges()) {
+    EXPECT_TRUE(back.HasEdge(e.u, e.v));
+  }
+}
+
+TEST(IoTest, ReadMissingFileThrows) {
+  EXPECT_THROW(ReadEdgeListFile("/nonexistent/path/graph.txt"),
+               std::runtime_error);
+}
+
+TEST(IoTest, GexfContainsNodesAndEdges) {
+  Graph g(2);
+  g.AddEdge(0, 1);
+  std::ostringstream out;
+  WriteGexf(g, out);
+  const std::string xml = out.str();
+  EXPECT_NE(xml.find("<gexf"), std::string::npos);
+  EXPECT_NE(xml.find("<node id=\"0\""), std::string::npos);
+  EXPECT_NE(xml.find("<node id=\"1\""), std::string::npos);
+  EXPECT_NE(xml.find("source=\"0\" target=\"1\""), std::string::npos);
+  // Degree attribute exported for Gephi sizing.
+  EXPECT_NE(xml.find("value=\"1\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sgr

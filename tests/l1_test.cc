@@ -1,0 +1,86 @@
+#include "analysis/l1.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sgr {
+namespace {
+
+TEST(L1Test, IdenticalVectorsAreZero) {
+  EXPECT_DOUBLE_EQ(NormalizedL1({1.0, 2.0, 3.0}, {1.0, 2.0, 3.0}), 0.0);
+}
+
+TEST(L1Test, NormalizesBySumOfOriginal) {
+  // |2-1| + |2-3| = 2; Σx = 4 -> 0.5.
+  EXPECT_DOUBLE_EQ(NormalizedL1({1.0, 3.0}, {2.0, 2.0}), 0.5);
+}
+
+TEST(L1Test, PadsShorterVectorWithZeros) {
+  EXPECT_DOUBLE_EQ(NormalizedL1({1.0}, {1.0, 1.0}), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedL1({1.0, 1.0}, {1.0}), 0.5);
+}
+
+TEST(L1Test, ScalarIsRelativeError) {
+  EXPECT_DOUBLE_EQ(NormalizedL1(10.0, 12.0), 0.2);
+  EXPECT_DOUBLE_EQ(NormalizedL1(10.0, 8.0), 0.2);
+  EXPECT_DOUBLE_EQ(NormalizedL1(10.0, 10.0), 0.0);
+}
+
+TEST(L1Test, ZeroOriginalConventions) {
+  EXPECT_DOUBLE_EQ(NormalizedL1(0.0, 0.0), 0.0);
+  EXPECT_TRUE(std::isinf(NormalizedL1(0.0, 1.0)));
+  EXPECT_DOUBLE_EQ(NormalizedL1(std::vector<double>{}, {}), 0.0);
+  EXPECT_TRUE(std::isinf(NormalizedL1({0.0}, {0.5})));
+}
+
+TEST(L1Test, PropertyNamesCoverTwelve) {
+  const auto& names = PropertyNames();
+  EXPECT_EQ(names.size(), kNumProperties);
+  EXPECT_EQ(names.front(), "n");
+  EXPECT_EQ(names.back(), "lambda1");
+}
+
+TEST(L1Test, PropertyDistancesPerField) {
+  GraphProperties original;
+  original.num_nodes = 100;
+  original.average_degree = 4.0;
+  original.degree_dist = {0.0, 0.5, 0.5};
+  original.neighbor_connectivity = {0.0, 2.0};
+  original.clustering_global = 0.2;
+  original.clustering_by_degree = {0.0, 0.0, 0.4};
+  original.esp_dist = {0.8, 0.2};
+  original.average_path_length = 3.0;
+  original.path_length_dist = {0.0, 0.5, 0.5};
+  original.diameter = 6;
+  original.betweenness_by_degree = {0.0, 10.0};
+  original.largest_eigenvalue = 8.0;
+
+  GraphProperties generated = original;
+  generated.num_nodes = 90;
+  generated.diameter = 9;
+
+  const auto d = PropertyDistances(original, generated);
+  EXPECT_DOUBLE_EQ(d[0], 0.1);   // n
+  EXPECT_DOUBLE_EQ(d[1], 0.0);   // k̄
+  EXPECT_DOUBLE_EQ(d[9], 0.5);   // diameter
+  for (std::size_t i : {2, 3, 4, 5, 6, 7, 8, 10, 11}) {
+    EXPECT_DOUBLE_EQ(d[i], 0.0) << "property " << i;
+  }
+}
+
+TEST(L1Test, AverageAndSd) {
+  std::array<double, kNumProperties> d{};
+  d.fill(0.5);
+  EXPECT_DOUBLE_EQ(AverageDistance(d), 0.5);
+  EXPECT_DOUBLE_EQ(DistanceStandardDeviation(d), 0.0);
+
+  d[0] = 1.1;
+  d[1] = -0.1;  // not meaningful but exercises the arithmetic
+  const double mean = AverageDistance(d);
+  EXPECT_NEAR(mean, 0.5, 1e-12);
+  EXPECT_GT(DistanceStandardDeviation(d), 0.0);
+}
+
+}  // namespace
+}  // namespace sgr

@@ -1,0 +1,97 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace sgr {
+namespace {
+
+TEST(RngTest, DeterministicWithSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextIndex(1000), b.NextIndex(1000));
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 32 && !any_diff; ++i) {
+    any_diff = a.NextIndex(1 << 30) != b.NextIndex(1 << 30);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, NextIndexWithinBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextIndex(17), 17u);
+  }
+  EXPECT_EQ(rng.NextIndex(1), 0u);
+}
+
+TEST(RngTest, NextIntInclusiveRange) {
+  Rng rng(8);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.NextInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextRealInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextReal();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(10);
+  EXPECT_FALSE(rng.NextBernoulli(0.0));
+  EXPECT_TRUE(rng.NextBernoulli(1.0));
+  EXPECT_FALSE(rng.NextBernoulli(-0.5));
+  EXPECT_TRUE(rng.NextBernoulli(1.5));
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(11);
+  int hits = 0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) hits += rng.NextBernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(RngTest, GeometricMean) {
+  Rng rng(12);
+  // Geometric(p = 0.3) has mean (1-p)/p = 7/3.
+  double total = 0.0;
+  const int trials = 50000;
+  for (int i = 0; i < trials; ++i) {
+    total += static_cast<double>(rng.NextGeometric(0.3));
+  }
+  EXPECT_NEAR(total / trials, 7.0 / 3.0, 0.1);
+}
+
+TEST(RngTest, ChoicePicksUniformly) {
+  Rng rng(13);
+  const std::vector<int> items = {10, 20, 30};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 30000; ++i) {
+    const int v = rng.Choice(items);
+    counts[v / 10 - 1]++;
+  }
+  for (int c : counts) EXPECT_NEAR(c, 10000, 600);
+}
+
+}  // namespace
+}  // namespace sgr

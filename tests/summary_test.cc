@@ -1,0 +1,57 @@
+#include "analysis/summary.h"
+
+#include <gtest/gtest.h>
+
+namespace sgr {
+namespace {
+
+TEST(SummaryTest, EmptyAccumulator) {
+  DistanceAccumulator acc;
+  const DistanceSummary s = acc.Summarize();
+  EXPECT_EQ(s.runs, 0u);
+  EXPECT_DOUBLE_EQ(s.mean_average, 0.0);
+}
+
+TEST(SummaryTest, SingleRunPassesThrough) {
+  DistanceAccumulator acc;
+  std::array<double, kNumProperties> d{};
+  d.fill(0.25);
+  acc.Add(d);
+  const DistanceSummary s = acc.Summarize();
+  EXPECT_EQ(s.runs, 1u);
+  EXPECT_DOUBLE_EQ(s.mean_average, 0.25);
+  EXPECT_DOUBLE_EQ(s.mean_sd, 0.0);
+  for (double m : s.mean_per_property) EXPECT_DOUBLE_EQ(m, 0.25);
+}
+
+TEST(SummaryTest, AveragesAcrossRuns) {
+  DistanceAccumulator acc;
+  std::array<double, kNumProperties> lo{};
+  lo.fill(0.1);
+  std::array<double, kNumProperties> hi{};
+  hi.fill(0.3);
+  acc.Add(lo);
+  acc.Add(hi);
+  const DistanceSummary s = acc.Summarize();
+  EXPECT_EQ(s.runs, 2u);
+  EXPECT_DOUBLE_EQ(s.mean_average, 0.2);
+  EXPECT_DOUBLE_EQ(s.mean_per_property[5], 0.2);
+}
+
+TEST(SummaryTest, MeanSdAveragesPerRunSds) {
+  DistanceAccumulator acc;
+  // Run 1: constant vector -> sd 0. Run 2: half 0, half 0.2 -> sd 0.1.
+  std::array<double, kNumProperties> flat{};
+  flat.fill(0.4);
+  std::array<double, kNumProperties> split{};
+  for (std::size_t i = 0; i < kNumProperties; ++i) {
+    split[i] = (i % 2 == 0) ? 0.0 : 0.2;
+  }
+  acc.Add(flat);
+  acc.Add(split);
+  const DistanceSummary s = acc.Summarize();
+  EXPECT_NEAR(s.mean_sd, 0.05, 1e-12);
+}
+
+}  // namespace
+}  // namespace sgr

@@ -1,0 +1,144 @@
+// Surgical unit tests of the target-JDM machinery (Algorithms 3-4) on
+// hand-crafted estimates, complementing the randomized sweeps in
+// target_jdm_test.cc: each case isolates one branch of the adjustment /
+// modification logic.
+
+#include <gtest/gtest.h>
+
+#include "restore/target_jdm.h"
+
+namespace sgr {
+namespace {
+
+/// Estimates describing an exactly realizable world: 4 nodes of degree 1,
+/// 2 of degree 2 (n = 6, 2m = 8, k̄ = 4/3), edges (1,2) x 4... built so
+/// initialization lands exactly on a consistent matrix.
+LocalEstimates ConsistentEstimates() {
+  LocalEstimates est;
+  est.num_nodes = 6.0;
+  est.average_degree = 8.0 / 6.0;
+  est.degree_dist = {0.0, 4.0 / 6.0, 2.0 / 6.0};
+  // Graph: two paths 1-2-1: m(1,2) = 4. P(1,2) = m/2m = 0.5 per ordering.
+  est.joint_dist.SetSymmetric(1, 2, 0.5);
+  return est;
+}
+
+TEST(TargetJdmUnitTest, ConsistentEstimatesPassUnchanged) {
+  LocalEstimates est = ConsistentEstimates();
+  DegreeVector n_star = {0, 4, 2};
+  Rng rng(1);
+  const JointDegreeMatrix m_star =
+      BuildTargetJdmFromEstimates(est, n_star, rng);
+  EXPECT_EQ(m_star.At(1, 2), 4);
+  EXPECT_EQ(m_star.TotalEdges(), 4);
+  EXPECT_EQ(n_star, (DegreeVector{0, 4, 2}));  // untouched
+  EXPECT_TRUE(m_star.SatisfiesJdm3(n_star));
+}
+
+TEST(TargetJdmUnitTest, RowDeficitFilledViaDegreeOne) {
+  // Degree-3 row underfilled: the adjuster must raise it using the
+  // always-available degree-1 column (D'+ contains 1).
+  LocalEstimates est;
+  est.num_nodes = 8.0;
+  est.average_degree = 1.5;  // 2m = 12
+  est.degree_dist = {0.0, 5.0 / 8.0, 0.0, 3.0 / 8.0};
+  // Deliberately too-small joint mass on (1,3).
+  est.joint_dist.SetSymmetric(1, 3, 0.2);  // m̂(1,3) = 12*0.2 = 2.4 -> 2
+  DegreeVector n_star = {0, 5, 0, 3};      // s*(1) = 5, s*(3) = 9
+  Rng rng(2);
+  const JointDegreeMatrix m_star =
+      BuildTargetJdmFromEstimates(est, n_star, rng);
+  EXPECT_TRUE(m_star.SatisfiesJdm1());
+  EXPECT_TRUE(m_star.SatisfiesJdm2());
+  EXPECT_TRUE(m_star.SatisfiesJdm3(n_star));
+  // The degree vector may have grown, but never shrunk.
+  EXPECT_GE(n_star[1], 5);
+  EXPECT_GE(n_star[3], 3);
+}
+
+TEST(TargetJdmUnitTest, DegreeOneParityHandledByGrowth) {
+  // Only degree 1 exists and the initial s(1) has odd distance to s*(1):
+  // lines 2-3 of Algorithm 3 must grow n*(1) to make the gap even, then
+  // close it via m(1,1).
+  LocalEstimates est;
+  est.num_nodes = 5.0;
+  est.average_degree = 1.0;
+  est.degree_dist = {0.0, 1.0};
+  est.joint_dist.SetSymmetric(1, 1, 1.0);  // m̂(1,1) = 5*1/2 = 2.5 -> 2
+  DegreeVector n_star = {0, 5};            // s*(1) = 5, s(1) = 4: odd gap
+  Rng rng(3);
+  const JointDegreeMatrix m_star =
+      BuildTargetJdmFromEstimates(est, n_star, rng);
+  EXPECT_TRUE(m_star.SatisfiesJdm3(n_star));
+  EXPECT_EQ(n_star[1] % 2, 0);  // grown to even total degree
+}
+
+TEST(TargetJdmUnitTest, ModificationLiftsEntriesToSubgraphFloor) {
+  // The estimates see no (2,3) edges but the subgraph contains two: the
+  // modification step must lift m*(2,3) to >= 2 while keeping JDM-1/2 and
+  // restoring JDM-3 via the re-adjustment.
+  LocalEstimates est;
+  est.num_nodes = 12.0;
+  est.average_degree = 2.5;  // 2m = 30
+  est.degree_dist = {0.0, 0.25, 0.375, 0.375};
+  est.joint_dist.SetSymmetric(1, 2, 0.2);
+  est.joint_dist.SetSymmetric(1, 3, 0.2);
+  est.joint_dist.SetSymmetric(2, 2, 0.1);
+  est.joint_dist.SetSymmetric(3, 3, 0.2);
+  DegreeVector n_star = {0, 3, 5, 4};
+
+  JointDegreeMatrix m_prime;
+  m_prime.SetSymmetric(2, 3, 2);
+
+  Rng rng(4);
+  const JointDegreeMatrix m_star =
+      BuildTargetJdm(est, n_star, m_prime, rng);
+  EXPECT_GE(m_star.At(2, 3), 2);
+  EXPECT_TRUE(m_star.SatisfiesJdm1());
+  EXPECT_TRUE(m_star.SatisfiesJdm2());
+  EXPECT_TRUE(m_star.SatisfiesJdm3(n_star));
+  EXPECT_TRUE(m_star.Dominates(m_prime));
+}
+
+TEST(TargetJdmUnitTest, LowerLimitsRespectedDuringReadjustment) {
+  // Force the re-adjustment path with a large subgraph floor on the
+  // diagonal: the floor must survive (JDM-4) even while row sums are
+  // rebalanced.
+  LocalEstimates est;
+  est.num_nodes = 10.0;
+  est.average_degree = 2.0;  // 2m = 20
+  est.degree_dist = {0.0, 0.5, 0.5};
+  est.joint_dist.SetSymmetric(1, 2, 0.3);
+  est.joint_dist.SetSymmetric(2, 2, 0.4);
+  DegreeVector n_star = {0, 5, 5};
+
+  JointDegreeMatrix m_prime;
+  m_prime.SetSymmetric(2, 2, 5);  // well above the estimate's ~2
+
+  Rng rng(5);
+  const JointDegreeMatrix m_star =
+      BuildTargetJdm(est, n_star, m_prime, rng);
+  EXPECT_GE(m_star.At(2, 2), 5);
+  EXPECT_TRUE(m_star.SatisfiesJdm3(n_star));
+  EXPECT_TRUE(m_star.Dominates(m_prime));
+}
+
+TEST(TargetJdmUnitTest, InitializationGuaranteesPositiveEntries) {
+  // P̂(k,k') > 0 forces m*(k,k') >= 1 even when the rounded estimate is 0
+  // (Section IV-C initialization: a positive estimate certifies at least
+  // one such edge exists).
+  LocalEstimates est;
+  est.num_nodes = 100.0;
+  est.average_degree = 2.0;
+  est.degree_dist = {0.0, 0.99, 0.01};
+  est.joint_dist.SetSymmetric(1, 1, 0.995);
+  est.joint_dist.SetSymmetric(2, 2, 0.005);  // m̂ = 0.5 -> rounds to 1
+  DegreeVector n_star = {0, 99, 1};
+  Rng rng(6);
+  const JointDegreeMatrix m_star =
+      BuildTargetJdmFromEstimates(est, n_star, rng);
+  EXPECT_GE(m_star.At(2, 2), 1);
+}
+
+}  // namespace
+}  // namespace sgr

@@ -1,0 +1,296 @@
+// sgr — command-line front end for the social-graph-restoration library.
+//
+// Subcommands mirror the paper's workflow end to end:
+//
+//   sgr generate --model powerlaw --nodes 3000 --edges-per-node 4
+//                --triad-p 0.4 --seed 1 --out graph.txt
+//       Generate a synthetic social graph (edge list).
+//
+//   sgr crawl --graph graph.txt --method rw --fraction 0.1 --seed 2
+//             --out sample.txt
+//       Crawl a graph through the query oracle and save the sampling list.
+//       Methods: rw | nbrw | mhrw | bfs | snowball | ff | frontier.
+//
+//   sgr restore --sample sample.txt --method proposed --rc 500 --seed 3
+//               --out restored.txt
+//       Restore a graph from a saved sampling list.
+//       Methods: proposed | gjoka | subgraph.
+//
+//   sgr analyze --graph graph.txt [--sources 500]
+//       Print the 12 structural properties (plus assortativity,
+//       degeneracy, periphery share).
+//
+//   sgr compare --original graph.txt --generated restored.txt
+//               [--sources 500]
+//       Print the per-property normalized L1 distances.
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analysis/extras.h"
+#include "analysis/l1.h"
+#include "analysis/properties.h"
+#include "exp/table_printer.h"
+#include "graph/components.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "restore/gjoka.h"
+#include "restore/proposed.h"
+#include "restore/subgraph_method.h"
+#include "sampling/bfs.h"
+#include "sampling/forest_fire.h"
+#include "sampling/frontier.h"
+#include "sampling/list_io.h"
+#include "sampling/metropolis_hastings.h"
+#include "sampling/non_backtracking.h"
+#include "sampling/random_walk.h"
+#include "sampling/snowball.h"
+
+namespace {
+
+using namespace sgr;
+
+/// Minimal --flag value parser: flags are "--name value"; unknown flags
+/// are an error, missing required flags are an error.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0 || i + 1 >= argc) {
+        throw std::runtime_error("expected --flag value, got '" + key + "'");
+      }
+      values_[key.substr(2)] = argv[++i];
+    }
+  }
+
+  std::string Get(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      throw std::runtime_error("missing required flag --" + key);
+    }
+    return it->second;
+  }
+
+  std::string GetOr(const std::string& key, const std::string& dflt) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? dflt : it->second;
+  }
+
+  double GetDouble(const std::string& key, double dflt) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? dflt : std::stod(it->second);
+  }
+
+  std::uint64_t GetUint(const std::string& key, std::uint64_t dflt) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? dflt : std::stoull(it->second);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int CmdGenerate(const Args& args) {
+  const std::string model = args.GetOr("model", "powerlaw");
+  const auto n = static_cast<std::size_t>(args.GetUint("nodes", 3000));
+  Rng rng(args.GetUint("seed", 1));
+  Graph g;
+  if (model == "powerlaw") {
+    g = GeneratePowerlawCluster(
+        n, static_cast<std::size_t>(args.GetUint("edges-per-node", 4)),
+        args.GetDouble("triad-p", 0.4), rng);
+  } else if (model == "ba") {
+    g = GenerateBarabasiAlbert(
+        n, static_cast<std::size_t>(args.GetUint("edges-per-node", 4)),
+        rng);
+  } else if (model == "er") {
+    g = GenerateErdosRenyiGnm(
+        n, static_cast<std::size_t>(args.GetUint("edges", 4 * n)), rng);
+  } else if (model == "community") {
+    g = GenerateCommunityGraph(
+        n, static_cast<std::size_t>(args.GetUint("communities", 4)),
+        static_cast<std::size_t>(args.GetUint("edges-per-node", 3)),
+        args.GetDouble("triad-p", 0.4),
+        static_cast<std::size_t>(args.GetUint("bridges", n / 50 + 1)), rng);
+  } else {
+    throw std::runtime_error("unknown model '" + model +
+                             "' (powerlaw|ba|er|community)");
+  }
+  g = PreprocessDataset(g);
+  WriteEdgeListFile(g, args.Get("out"));
+  std::cout << "wrote " << args.Get("out") << ": n = " << g.NumNodes()
+            << ", m = " << g.NumEdges() << "\n";
+  return 0;
+}
+
+int CmdCrawl(const Args& args) {
+  const Graph g = PreprocessDataset(ReadEdgeListFile(args.Get("graph")));
+  const std::string method = args.GetOr("method", "rw");
+  Rng rng(args.GetUint("seed", 2));
+  const double fraction = args.GetDouble("fraction", 0.1);
+  const auto budget = static_cast<std::size_t>(
+      std::max(1.0, fraction * static_cast<double>(g.NumNodes())));
+  const NodeId seed = static_cast<NodeId>(rng.NextIndex(g.NumNodes()));
+
+  QueryOracle oracle(g);
+  SamplingList list;
+  if (method == "rw") {
+    list = RandomWalkSample(oracle, seed, budget, rng);
+  } else if (method == "nbrw") {
+    list = NonBacktrackingWalkSample(oracle, seed, budget, rng);
+  } else if (method == "mhrw") {
+    list = MetropolisHastingsWalkSample(oracle, seed, budget, rng);
+  } else if (method == "bfs") {
+    list = BfsSample(oracle, seed, budget);
+  } else if (method == "snowball") {
+    list = SnowballSample(oracle, seed, budget,
+                          static_cast<std::size_t>(args.GetUint("k", 50)),
+                          rng);
+  } else if (method == "ff") {
+    list = ForestFireSample(oracle, seed, budget,
+                            args.GetDouble("pf", 0.7), rng);
+  } else if (method == "frontier") {
+    const auto walkers =
+        static_cast<std::size_t>(args.GetUint("walkers", 10));
+    std::vector<NodeId> seeds;
+    for (std::size_t i = 0; i < walkers; ++i) {
+      seeds.push_back(static_cast<NodeId>(rng.NextIndex(g.NumNodes())));
+    }
+    list = FrontierSample(oracle, seeds, budget, rng);
+  } else {
+    throw std::runtime_error(
+        "unknown crawl method '" + method +
+        "' (rw|nbrw|mhrw|bfs|snowball|ff|frontier)");
+  }
+  WriteSamplingListFile(list, args.Get("out"));
+  std::cout << "wrote " << args.Get("out") << ": " << list.Length()
+            << " steps, " << list.NumQueried() << " nodes queried ("
+            << 100.0 * static_cast<double>(list.NumQueried()) /
+                   static_cast<double>(g.NumNodes())
+            << "% of " << g.NumNodes() << ")\n";
+  return 0;
+}
+
+int CmdRestore(const Args& args) {
+  const SamplingList list = ReadSamplingListFile(args.Get("sample"));
+  const std::string method = args.GetOr("method", "proposed");
+  Rng rng(args.GetUint("seed", 3));
+  RestorationOptions options;
+  options.rewire.rewiring_coefficient = args.GetDouble("rc", 500.0);
+  if (args.GetOr("walk-type", "simple") == "nbrw") {
+    options.estimator.walk_type = WalkType::kNonBacktracking;
+  }
+  options.simplify_output = args.GetOr("simplify", "0") == "1";
+
+  RestorationResult result;
+  if (method == "proposed") {
+    result = RestoreProposed(list, options, rng);
+  } else if (method == "gjoka") {
+    result = RestoreGjoka(list, options, rng);
+  } else if (method == "subgraph") {
+    result = RestoreBySubgraphSampling(list);
+  } else {
+    throw std::runtime_error("unknown restore method '" + method +
+                             "' (proposed|gjoka|subgraph)");
+  }
+  WriteEdgeListFile(result.graph, args.Get("out"));
+  std::cout << "wrote " << args.Get("out")
+            << ": n = " << result.graph.NumNodes()
+            << ", m = " << result.graph.NumEdges() << " ("
+            << TablePrinter::Fixed(result.total_seconds, 2) << " s total, "
+            << TablePrinter::Fixed(result.rewiring_seconds, 2)
+            << " s rewiring)\n";
+  return 0;
+}
+
+PropertyOptions PathOptions(const Args& args) {
+  PropertyOptions options;
+  options.max_path_sources =
+      static_cast<std::size_t>(args.GetUint("sources", 0));
+  return options;
+}
+
+int CmdAnalyze(const Args& args) {
+  const Graph g = ReadEdgeListFile(args.Get("graph"));
+  const GraphProperties p = ComputeProperties(g, PathOptions(args));
+  TablePrinter table(std::cout, {"Property", "Value"});
+  table.AddRow({"nodes", std::to_string(p.num_nodes)});
+  table.AddRow({"edges", std::to_string(g.NumEdges())});
+  table.AddRow({"average degree", TablePrinter::Fixed(p.average_degree)});
+  table.AddRow({"max degree", std::to_string(g.MaxDegree())});
+  table.AddRow(
+      {"clustering (avg local)", TablePrinter::Fixed(p.clustering_global)});
+  table.AddRow({"average path length",
+                TablePrinter::Fixed(p.average_path_length)});
+  table.AddRow({"diameter", std::to_string(p.diameter)});
+  table.AddRow({"largest eigenvalue",
+                TablePrinter::Fixed(p.largest_eigenvalue, 2)});
+  table.AddRow({"assortativity",
+                TablePrinter::Fixed(DegreeAssortativity(g))});
+  table.AddRow({"degeneracy", std::to_string(Degeneracy(g))});
+  table.AddRow({"periphery share (deg<=2)",
+                TablePrinter::Fixed(PeripheryShare(g))});
+  table.AddRow(
+      {"components", std::to_string(ComponentSizes(g).size())});
+  table.Print();
+  return 0;
+}
+
+int CmdCompare(const Args& args) {
+  const Graph original = ReadEdgeListFile(args.Get("original"));
+  const Graph generated = ReadEdgeListFile(args.Get("generated"));
+  const PropertyOptions options = PathOptions(args);
+  const auto distances =
+      PropertyDistances(ComputeProperties(original, options),
+                        ComputeProperties(generated, options));
+  TablePrinter table(std::cout, {"Property", "L1 distance"});
+  for (std::size_t i = 0; i < kNumProperties; ++i) {
+    table.AddRow({PropertyNames()[i], TablePrinter::Fixed(distances[i])});
+  }
+  table.AddRow({"AVERAGE", TablePrinter::Fixed(AverageDistance(distances))});
+  table.Print();
+  return 0;
+}
+
+void PrintUsage() {
+  std::cout <<
+      "usage: sgr <command> [--flag value ...]\n"
+      "commands:\n"
+      "  generate  --out FILE [--model powerlaw|ba|er|community]\n"
+      "            [--nodes N] [--edges-per-node M] [--triad-p P] [--seed S]\n"
+      "  crawl     --graph FILE --out FILE [--method rw|nbrw|mhrw|bfs|\n"
+      "            snowball|ff|frontier] [--fraction F] [--seed S]\n"
+      "  restore   --sample FILE --out FILE [--method proposed|gjoka|\n"
+      "            subgraph] [--rc RC] [--seed S] [--walk-type simple|nbrw]\n"
+      "            [--simplify 0|1]\n"
+      "  analyze   --graph FILE [--sources N]\n"
+      "  compare   --original FILE --generated FILE [--sources N]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  try {
+    Args args(argc, argv, 2);
+    if (command == "generate") return CmdGenerate(args);
+    if (command == "crawl") return CmdCrawl(args);
+    if (command == "restore") return CmdRestore(args);
+    if (command == "analyze") return CmdAnalyze(args);
+    if (command == "compare") return CmdCompare(args);
+    std::cerr << "unknown command '" << command << "'\n";
+    PrintUsage();
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "sgr " << command << ": " << e.what() << "\n";
+    return 1;
+  }
+}
