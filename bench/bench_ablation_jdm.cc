@@ -47,40 +47,57 @@ double JointDistL1(const Graph& g, const SparseJointDist& estimate) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sgr::bench;
 
   const BenchConfig config =
-      BenchConfig::FromEnv(/*default_runs=*/5, /*default_rc=*/0.0);
+      BenchConfig::FromArgs(argc, argv, /*default_runs=*/5,
+                            /*default_rc=*/0.0);
   std::cout << "=== Ablation: joint-degree estimator (hybrid vs IE vs TE), "
             << 100.0 * config.fraction << "% queried ===\n"
-            << "runs: " << config.runs << "\n\n";
+            << "runs: " << config.runs << ", threads = "
+            << ResolveThreadCount(config.threads) << "\n\n";
 
   TablePrinter table(std::cout,
                      {"Dataset", "Hybrid", "IE only", "TE only"});
   for (const DatasetSpec& spec : StandardDatasets()) {
     const Graph dataset = LoadDataset(spec);
+    const CsrGraph snapshot(dataset);
     const auto budget = static_cast<std::size_t>(
         config.fraction * static_cast<double>(dataset.NumNodes()));
-    double l1_hybrid = 0.0;
-    double l1_ie = 0.0;
-    double l1_te = 0.0;
-    for (std::size_t run = 0; run < config.runs; ++run) {
-      QueryOracle oracle(dataset);
+    // One row of per-run results per variant; runs execute concurrently
+    // against the shared snapshot and are reduced in run order, so the
+    // table is identical for every --threads value.
+    struct RunResult {
+      double hybrid = 0.0;
+      double ie = 0.0;
+      double te = 0.0;
+    };
+    std::vector<RunResult> per_run(config.runs);
+    ParallelFor(config.runs, config.threads, [&](std::size_t run) {
+      QueryOracle oracle(snapshot);
       Rng rng(0xAB1A + run);
       const SamplingList walk = RandomWalkSample(
           oracle, static_cast<NodeId>(rng.NextIndex(dataset.NumNodes())),
           budget, rng);
       EstimatorOptions options;
       options.joint_mode = JointEstimatorMode::kHybrid;
-      l1_hybrid += JointDistL1(
+      per_run[run].hybrid = JointDistL1(
           dataset, EstimateLocalProperties(walk, options).joint_dist);
       options.joint_mode = JointEstimatorMode::kInducedEdgesOnly;
-      l1_ie += JointDistL1(
+      per_run[run].ie = JointDistL1(
           dataset, EstimateLocalProperties(walk, options).joint_dist);
       options.joint_mode = JointEstimatorMode::kTraversedEdgesOnly;
-      l1_te += JointDistL1(
+      per_run[run].te = JointDistL1(
           dataset, EstimateLocalProperties(walk, options).joint_dist);
+    });
+    double l1_hybrid = 0.0;
+    double l1_ie = 0.0;
+    double l1_te = 0.0;
+    for (const RunResult& r : per_run) {
+      l1_hybrid += r.hybrid;
+      l1_ie += r.ie;
+      l1_te += r.te;
     }
     const double inv = 1.0 / static_cast<double>(config.runs);
     table.AddRow({spec.name, TablePrinter::Fixed(l1_hybrid * inv),

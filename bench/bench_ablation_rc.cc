@@ -13,30 +13,36 @@
 #include "restore/proposed.h"
 #include "sampling/random_walk.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sgr;
   using namespace sgr::bench;
 
   const BenchConfig config =
-      BenchConfig::FromEnv(/*default_runs=*/2, /*default_rc=*/0.0);
+      BenchConfig::FromArgs(argc, argv, /*default_runs=*/2,
+                            /*default_rc=*/0.0);
   const char* ds_env = std::getenv("SGR_DATASET");
   const DatasetSpec spec =
       DatasetByName(ds_env != nullptr ? ds_env : "brightkite");
   const Graph dataset = LoadDataset(spec);
+  const CsrGraph snapshot(dataset);
   std::cout << "=== Ablation: rewiring budget RC sweep ===\n";
   PrintDatasetBanner(spec, dataset);
   std::cout << "runs: " << config.runs << ", fraction: " << config.fraction
+            << ", threads = " << ResolveThreadCount(config.threads)
             << "\n\n";
 
   TablePrinter table(std::cout, {"RC", "initial D", "final D",
                                  "accept rate", "rewiring sec"});
   for (double rc : {0.0, 10.0, 50.0, 100.0, 250.0, 500.0}) {
-    double d0 = 0.0;
-    double d1 = 0.0;
-    double accept = 0.0;
-    double seconds = 0.0;
-    for (std::size_t run = 0; run < config.runs; ++run) {
-      QueryOracle oracle(dataset);
+    struct RunResult {
+      double d0 = 0.0;
+      double d1 = 0.0;
+      double accept = 0.0;
+      double seconds = 0.0;
+    };
+    std::vector<RunResult> per_run(config.runs);
+    ParallelFor(config.runs, config.threads, [&](std::size_t run) {
+      QueryOracle oracle(snapshot);
       Rng rng(0xAB3A + run);
       const auto budget = static_cast<std::size_t>(
           config.fraction * static_cast<double>(dataset.NumNodes()));
@@ -46,13 +52,24 @@ int main() {
       RestorationOptions options;
       options.rewire.rewiring_coefficient = rc;
       const RestorationResult r = RestoreProposed(walk, options, rng);
-      d0 += r.rewire_stats.initial_distance;
-      d1 += r.rewire_stats.final_distance;
+      per_run[run].d0 = r.rewire_stats.initial_distance;
+      per_run[run].d1 = r.rewire_stats.final_distance;
       if (r.rewire_stats.attempts > 0) {
-        accept += static_cast<double>(r.rewire_stats.accepted) /
-                  static_cast<double>(r.rewire_stats.attempts);
+        per_run[run].accept =
+            static_cast<double>(r.rewire_stats.accepted) /
+            static_cast<double>(r.rewire_stats.attempts);
       }
-      seconds += r.rewiring_seconds;
+      per_run[run].seconds = r.rewiring_seconds;
+    });
+    double d0 = 0.0;
+    double d1 = 0.0;
+    double accept = 0.0;
+    double seconds = 0.0;
+    for (const RunResult& r : per_run) {
+      d0 += r.d0;
+      d1 += r.d1;
+      accept += r.accept;
+      seconds += r.seconds;
     }
     const double inv = 1.0 / static_cast<double>(config.runs);
     table.AddRow({TablePrinter::Fixed(rc, 0), TablePrinter::Fixed(d0 * inv),

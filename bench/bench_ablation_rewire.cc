@@ -21,15 +21,17 @@
 #include "sampling/random_walk.h"
 #include "sampling/subgraph.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sgr;
   using namespace sgr::bench;
 
   const BenchConfig config =
-      BenchConfig::FromEnv(/*default_runs=*/2, /*default_rc=*/200.0);
+      BenchConfig::FromArgs(argc, argv, /*default_runs=*/2,
+                            /*default_rc=*/200.0);
   std::cout << "=== Ablation: rewiring candidate set (protect E' vs all "
                "edges), "
             << 100.0 * config.fraction << "% queried, RC = " << config.rc
+            << ", threads = " << ResolveThreadCount(config.threads)
             << " ===\n\n";
 
   TablePrinter table(std::cout,
@@ -39,18 +41,23 @@ int main() {
                       "subgraph intact (protected/all)"});
   for (const DatasetSpec& spec : StandardDatasets()) {
     const Graph dataset = LoadDataset(spec);
+    const CsrGraph snapshot(dataset);
     const std::vector<double> true_clustering =
-        ExtractDegreeDependentClustering(dataset);
-    double d_protected = 0.0;
-    double d_all = 0.0;
-    double c_protected = 0.0;
-    double c_all = 0.0;
-    double sec_protected = 0.0;
-    double sec_all = 0.0;
-    bool intact_protected = true;
-    bool intact_all = true;
-    for (std::size_t run = 0; run < config.runs; ++run) {
-      QueryOracle oracle(dataset);
+        ExtractDegreeDependentClustering(snapshot);
+    struct RunResult {
+      double d_protected = 0.0;
+      double d_all = 0.0;
+      double c_protected = 0.0;
+      double c_all = 0.0;
+      double sec_protected = 0.0;
+      double sec_all = 0.0;
+      bool intact_protected = true;
+      bool intact_all = true;
+    };
+    std::vector<RunResult> per_run(config.runs);
+    ParallelFor(config.runs, config.threads, [&](std::size_t run) {
+      RunResult& out = per_run[run];
+      QueryOracle oracle(snapshot);
       Rng rng(0xAB2A + run);
       const auto budget = static_cast<std::size_t>(
           config.fraction * static_cast<double>(dataset.NumNodes()));
@@ -93,9 +100,27 @@ int main() {
           }
         }
       };
-      run_variant(sub.graph.NumEdges(), d_protected, c_protected,
-                  sec_protected, intact_protected);
-      run_variant(0, d_all, c_all, sec_all, intact_all);
+      run_variant(sub.graph.NumEdges(), out.d_protected, out.c_protected,
+                  out.sec_protected, out.intact_protected);
+      run_variant(0, out.d_all, out.c_all, out.sec_all, out.intact_all);
+    });
+    double d_protected = 0.0;
+    double d_all = 0.0;
+    double c_protected = 0.0;
+    double c_all = 0.0;
+    double sec_protected = 0.0;
+    double sec_all = 0.0;
+    bool intact_protected = true;
+    bool intact_all = true;
+    for (const RunResult& r : per_run) {
+      d_protected += r.d_protected;
+      d_all += r.d_all;
+      c_protected += r.c_protected;
+      c_all += r.c_all;
+      sec_protected += r.sec_protected;
+      sec_all += r.sec_all;
+      intact_protected = intact_protected && r.intact_protected;
+      intact_all = intact_all && r.intact_all;
     }
     const double inv = 1.0 / static_cast<double>(config.runs);
     table.AddRow({spec.name, TablePrinter::Fixed(d_protected * inv),

@@ -18,60 +18,78 @@
 #include "sampling/non_backtracking.h"
 #include "sampling/random_walk.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sgr;
   using namespace sgr::bench;
 
   const BenchConfig config =
-      BenchConfig::FromEnv(/*default_runs=*/3, /*default_rc=*/100.0);
+      BenchConfig::FromArgs(argc, argv, /*default_runs=*/3,
+                            /*default_rc=*/100.0);
   std::cout << "=== Ablation: simple walk vs non-backtracking walk, "
             << 100.0 * config.fraction << "% queried ===\n"
-            << "runs: " << config.runs << ", RC = " << config.rc << "\n\n";
+            << "runs: " << config.runs << ", RC = " << config.rc
+            << ", threads = " << ResolveThreadCount(config.threads)
+            << "\n\n";
 
   TablePrinter table(std::cout,
                      {"Dataset", "SRW steps", "NBRW steps", "SRW avg L1",
                       "NBRW avg L1"});
   for (const DatasetSpec& spec : StandardDatasets()) {
     const Graph dataset = LoadDataset(spec);
+    const CsrGraph snapshot(dataset);
     PropertyOptions prop_options;
     prop_options.max_path_sources = config.path_sources;
+    prop_options.threads = 1;  // trial-level parallelism only
     const GraphProperties properties =
-        ComputeProperties(dataset, prop_options);
+        ComputeProperties(snapshot, prop_options);
     const auto budget = static_cast<std::size_t>(
         config.fraction * static_cast<double>(dataset.NumNodes()));
 
-    double srw_steps = 0.0;
-    double nbrw_steps = 0.0;
-    double srw_l1 = 0.0;
-    double nbrw_l1 = 0.0;
-    for (std::size_t run = 0; run < config.runs; ++run) {
+    struct RunResult {
+      double srw_steps = 0.0;
+      double nbrw_steps = 0.0;
+      double srw_l1 = 0.0;
+      double nbrw_l1 = 0.0;
+    };
+    std::vector<RunResult> per_run(config.runs);
+    ParallelFor(config.runs, config.threads, [&](std::size_t run) {
       Rng rng(0xAB4A + run);
       const NodeId seed =
           static_cast<NodeId>(rng.NextIndex(dataset.NumNodes()));
       RestorationOptions options;
       options.rewire.rewiring_coefficient = config.rc;
       {
-        QueryOracle oracle(dataset);
+        QueryOracle oracle(snapshot);
         const SamplingList walk =
             RandomWalkSample(oracle, seed, budget, rng);
-        srw_steps += static_cast<double>(walk.Length());
+        per_run[run].srw_steps = static_cast<double>(walk.Length());
         const RestorationResult r = RestoreProposed(walk, options, rng);
-        srw_l1 += AverageDistance(PropertyDistances(
+        per_run[run].srw_l1 = AverageDistance(PropertyDistances(
             properties, ComputeProperties(r.graph, prop_options)));
       }
       {
-        QueryOracle oracle(dataset);
+        QueryOracle oracle(snapshot);
         const SamplingList walk =
             NonBacktrackingWalkSample(oracle, seed, budget, rng);
-        nbrw_steps += static_cast<double>(walk.Length());
+        per_run[run].nbrw_steps = static_cast<double>(walk.Length());
         // Same pipeline, with the NBRW-corrected clustering estimator.
         RestorationOptions nbrw_options = options;
         nbrw_options.estimator.walk_type = WalkType::kNonBacktracking;
         const RestorationResult r =
             RestoreProposed(walk, nbrw_options, rng);
-        nbrw_l1 += AverageDistance(PropertyDistances(
+        per_run[run].nbrw_l1 = AverageDistance(PropertyDistances(
             properties, ComputeProperties(r.graph, prop_options)));
       }
+    });
+    double srw_steps = 0.0;
+    double nbrw_steps = 0.0;
+    double srw_l1 = 0.0;
+    double nbrw_l1 = 0.0;
+    for (const RunResult& r : per_run) {
+      srw_steps += r.srw_steps;
+      nbrw_steps += r.nbrw_steps;
+      srw_l1 += r.srw_l1;
+      nbrw_l1 += r.nbrw_l1;
     }
     const double inv = 1.0 / static_cast<double>(config.runs);
     table.AddRow({spec.name, TablePrinter::Fixed(srw_steps * inv, 0),

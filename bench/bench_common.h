@@ -2,6 +2,8 @@
 #define SGR_BENCH_BENCH_COMMON_H_
 
 #include <cstddef>
+#include <cstdlib>
+#include <cstring>
 #include <iostream>
 #include <map>
 #include <string>
@@ -10,6 +12,7 @@
 #include "analysis/properties.h"
 #include "analysis/summary.h"
 #include "exp/datasets.h"
+#include "exp/parallel.h"
 #include "exp/runner.h"
 #include "exp/table_printer.h"
 #include "graph/graph.h"
@@ -25,13 +28,20 @@ namespace sgr::bench {
 ///   SGR_FRACTION      queried-node fraction for the table benches
 ///   SGR_PATH_SOURCES  BFS/Brandes sources for path properties
 ///                     (0 = exact all-pairs)
+///   SGR_THREADS       worker threads for the Monte Carlo trials
+///                     (0 = hardware concurrency; default 1)
 ///   SGR_DATASET_SCALE dataset size multiplier (see exp/datasets.h)
 ///   SGR_DATASET_DIR   directory with real edge lists (optional)
+///
+/// Command-line flags (parsed by FromArgs) override the environment:
+///   --threads N       same as SGR_THREADS
+///   --runs N          same as SGR_RUNS
 struct BenchConfig {
   std::size_t runs;
   double rc;
   double fraction;
   std::size_t path_sources;
+  std::size_t threads = 1;
 
   static BenchConfig FromEnv(std::size_t default_runs, double default_rc,
                              double default_fraction = 0.10,
@@ -39,10 +49,45 @@ struct BenchConfig {
     BenchConfig c;
     c.runs = static_cast<std::size_t>(
         EnvOr("SGR_RUNS", static_cast<double>(default_runs)));
+    if (c.runs == 0) c.runs = default_runs;  // zero trials is never useful
     c.rc = EnvOr("SGR_RC", default_rc);
     c.fraction = EnvOr("SGR_FRACTION", default_fraction);
     c.path_sources = static_cast<std::size_t>(
         EnvOr("SGR_PATH_SOURCES", static_cast<double>(default_sources)));
+    c.threads = static_cast<std::size_t>(EnvOr("SGR_THREADS", 1.0));
+    return c;
+  }
+
+  /// FromEnv plus command-line overrides. Every experiment binary accepts
+  /// `--threads N` (0 = hardware concurrency): Monte Carlo trials then run
+  /// concurrently over one shared CsrGraph snapshot of the dataset, with
+  /// the distance aggregates identical for every N (see RunExperiments).
+  /// Unparseable flag values are ignored (the env/default value stays),
+  /// mirroring EnvOr; `--runs 0` is rejected too, since zero trials only
+  /// produces empty aggregates and divisions by zero downstream.
+  static BenchConfig FromArgs(int argc, char** argv,
+                              std::size_t default_runs, double default_rc,
+                              double default_fraction = 0.10,
+                              std::size_t default_sources = 600) {
+    BenchConfig c = FromEnv(default_runs, default_rc, default_fraction,
+                            default_sources);
+    const auto parse = [](const char* text, unsigned long* out) {
+      char* end = nullptr;
+      const unsigned long value = std::strtoul(text, &end, 10);
+      if (end == text || *end != '\0') return false;
+      *out = value;
+      return true;
+    };
+    for (int i = 1; i + 1 < argc; ++i) {
+      unsigned long value = 0;
+      if (std::strcmp(argv[i], "--threads") == 0 &&
+          parse(argv[i + 1], &value)) {
+        c.threads = static_cast<std::size_t>(value);
+      } else if (std::strcmp(argv[i], "--runs") == 0 &&
+                 parse(argv[i + 1], &value) && value > 0) {
+        c.runs = static_cast<std::size_t>(value);
+      }
+    }
     return c;
   }
 
@@ -51,6 +96,11 @@ struct BenchConfig {
     config.query_fraction = fraction;
     config.restoration.rewire.rewiring_coefficient = rc;
     config.property_options.max_path_sources = path_sources;
+    // Trial-level parallelism (--threads) is the benches' scaling axis;
+    // per-trial Brandes evaluation stays single-threaded so every printed
+    // number is bitwise identical for any --threads value (FP summation
+    // order never changes).
+    config.property_options.threads = 1;
     return config;
   }
 };
@@ -62,17 +112,23 @@ struct MethodAggregate {
   double rewiring_seconds = 0.0;
 };
 
-/// Runs `config.runs` experiment repetitions on `dataset` and accumulates
-/// per-method distance and timing statistics. Seeds are derived from
-/// `seed_base` so every binary is reproducible.
+/// Runs `runs` experiment repetitions on `dataset` (concurrently on up to
+/// `threads` workers) and accumulates per-method distance and timing
+/// statistics. Seeds are derived from `seed_base` so every binary is
+/// reproducible. The *distance* aggregates are identical for every thread
+/// count; the *timing* fields are wall-clock measured inside each trial,
+/// so concurrent trials contending for cores inflate them — benches whose
+/// point is the timing (Table IV/V, the RC ablation) should be read with
+/// `--threads 1`, or treat only the ratios as meaningful.
 inline std::map<MethodKind, MethodAggregate> RunDataset(
     const Graph& dataset, const GraphProperties& properties,
     const ExperimentConfig& experiment, std::size_t runs,
-    std::uint64_t seed_base) {
+    std::uint64_t seed_base, std::size_t threads = 1) {
   std::map<MethodKind, MethodAggregate> aggregate;
-  for (std::size_t run = 0; run < runs; ++run) {
-    const auto results =
-        RunExperiment(dataset, properties, experiment, seed_base + run);
+  const auto trials =
+      RunExperiments(dataset, properties, experiment, seed_base, runs,
+                     threads);
+  for (const auto& results : trials) {
     for (const MethodRunResult& r : results) {
       MethodAggregate& agg = aggregate[r.kind];
       agg.distances.Add(r.distances);

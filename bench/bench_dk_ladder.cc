@@ -14,22 +14,27 @@
 #include "bench_common.h"
 #include "dk/dk_series.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sgr;
   using namespace sgr::bench;
 
   const BenchConfig config =
-      BenchConfig::FromEnv(/*default_runs=*/1, /*default_rc=*/200.0);
+      BenchConfig::FromArgs(argc, argv, /*default_runs=*/1,
+                            /*default_rc=*/200.0);
   const char* ds_env = std::getenv("SGR_DATASET");
   const DatasetSpec spec =
       DatasetByName(ds_env != nullptr ? ds_env : "anybeat");
   const Graph original = LoadDataset(spec);
   std::cout << "=== dK-series ladder (full-data generation) ===\n";
   PrintDatasetBanner(spec, original);
-  std::cout << "RC (2.5K rewiring) = " << config.rc << "\n\n";
+  std::cout << "RC (2.5K rewiring) = " << config.rc << ", threads = "
+            << ResolveThreadCount(config.threads) << "\n\n";
 
   PropertyOptions prop_options;
   prop_options.max_path_sources = config.path_sources;
+  // The ladder is one generation chain (the rungs share an RNG), so the
+  // threads flag accelerates the property evaluation instead.
+  prop_options.threads = config.threads;
   const GraphProperties truth = ComputeProperties(original, prop_options);
 
   std::vector<std::string> headers = {"Order"};

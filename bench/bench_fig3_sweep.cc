@@ -14,11 +14,11 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sgr;
   using namespace sgr::bench;
 
-  const BenchConfig config = BenchConfig::FromEnv(
+  const BenchConfig config = BenchConfig::FromArgs(argc, argv,
       /*default_runs=*/3, /*default_rc=*/100.0);
   const auto steps = static_cast<std::size_t>(
       EnvOr("SGR_FRACTION_STEPS", 5));
@@ -31,6 +31,7 @@ int main() {
 
   std::cout << "=== Figure 3: average L1 distance vs % queried nodes ===\n"
             << "runs per point: " << config.runs << ", RC = " << config.rc
+            << ", threads = " << ResolveThreadCount(config.threads)
             << "\n\n";
 
   for (const char* name : {"anybeat", "brightkite", "epinions"}) {
@@ -50,7 +51,8 @@ int main() {
       const auto aggregate =
           RunDataset(dataset, properties, experiment, config.runs,
                      0xF16'3000 + static_cast<std::uint64_t>(
-                                      fraction * 1000.0));
+                                      fraction * 1000.0),
+                     config.threads);
       std::vector<std::string> row = {
           TablePrinter::Fixed(100.0 * fraction, 0)};
       for (MethodKind kind :

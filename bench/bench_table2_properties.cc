@@ -12,15 +12,16 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sgr;
   using namespace sgr::bench;
 
   const BenchConfig config =
-      BenchConfig::FromEnv(/*default_runs=*/3, /*default_rc=*/100.0);
+      BenchConfig::FromArgs(argc, argv, /*default_runs=*/3, /*default_rc=*/100.0);
   std::cout << "=== Table II: per-property L1 distance, "
             << 100.0 * config.fraction << "% queried ===\n"
-            << "runs: " << config.runs << ", RC = " << config.rc << "\n\n";
+            << "runs: " << config.runs << ", RC = " << config.rc
+            << ", threads = " << ResolveThreadCount(config.threads) << "\n\n";
 
   for (const char* name : {"slashdot", "gowalla", "livemocha"}) {
     const DatasetSpec spec = DatasetByName(name);
@@ -31,7 +32,7 @@ int main() {
     const GraphProperties properties =
         ComputeProperties(dataset, experiment.property_options);
     const auto aggregate = RunDataset(dataset, properties, experiment,
-                                      config.runs, 0x7AB'2000);
+                                      config.runs, 0x7AB'2000, config.threads);
 
     std::vector<std::string> headers = {"Method"};
     for (const auto& prop : PropertyNames()) headers.push_back(prop);

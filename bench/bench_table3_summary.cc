@@ -13,15 +13,16 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sgr;
   using namespace sgr::bench;
 
   const BenchConfig config =
-      BenchConfig::FromEnv(/*default_runs=*/3, /*default_rc=*/100.0);
+      BenchConfig::FromArgs(argc, argv, /*default_runs=*/3, /*default_rc=*/100.0);
   std::cout << "=== Table III: average +- SD of L1 over 12 properties, "
             << 100.0 * config.fraction << "% queried ===\n"
-            << "runs: " << config.runs << ", RC = " << config.rc << "\n\n";
+            << "runs: " << config.runs << ", RC = " << config.rc
+            << ", threads = " << ResolveThreadCount(config.threads) << "\n\n";
 
   TablePrinter table(std::cout, {"Dataset", "BFS", "Snowball", "FF", "RW",
                                  "Gjoka et al.", "Proposed"});
@@ -32,7 +33,7 @@ int main() {
     const GraphProperties properties =
         ComputeProperties(dataset, experiment.property_options);
     const auto aggregate = RunDataset(dataset, properties, experiment,
-                                      config.runs, 0x7AB'3000);
+                                      config.runs, 0x7AB'3000, config.threads);
     std::vector<std::string> row = {spec.name};
     for (MethodKind kind :
          {MethodKind::kBfs, MethodKind::kSnowball, MethodKind::kForestFire,

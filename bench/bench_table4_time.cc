@@ -15,17 +15,18 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sgr;
   using namespace sgr::bench;
 
   const BenchConfig config =
-      BenchConfig::FromEnv(/*default_runs=*/2, /*default_rc=*/500.0,
+      BenchConfig::FromArgs(argc, argv, /*default_runs=*/2, /*default_rc=*/500.0,
                            /*default_fraction=*/0.10,
                            /*default_sources=*/64);
   std::cout << "=== Table IV: generation times (seconds), "
             << 100.0 * config.fraction << "% queried ===\n"
-            << "runs: " << config.runs << ", RC = " << config.rc << "\n\n";
+            << "runs: " << config.runs << ", RC = " << config.rc
+            << ", threads = " << ResolveThreadCount(config.threads) << "\n\n";
 
   TablePrinter table(
       std::cout,
@@ -41,7 +42,7 @@ int main() {
     const GraphProperties properties =
         ComputeProperties(dataset, experiment.property_options);
     const auto aggregate = RunDataset(dataset, properties, experiment,
-                                      config.runs, 0x7AB'4000);
+                                      config.runs, 0x7AB'4000, config.threads);
     const MethodAggregate& gjoka = aggregate.at(MethodKind::kGjoka);
     const MethodAggregate& proposed = aggregate.at(MethodKind::kProposed);
     table.AddRow({

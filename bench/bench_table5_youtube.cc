@@ -15,26 +15,27 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sgr;
   using namespace sgr::bench;
 
   const BenchConfig config =
-      BenchConfig::FromEnv(/*default_runs=*/2, /*default_rc=*/50.0,
+      BenchConfig::FromArgs(argc, argv, /*default_runs=*/2, /*default_rc=*/50.0,
                            /*default_fraction=*/0.01,
                            /*default_sources=*/300);
   const DatasetSpec spec = YoutubeDataset();
   const Graph dataset = LoadDataset(spec);
   std::cout << "=== Table V: YouTube, " << 100.0 * config.fraction
             << "% queried ===\n"
-            << "runs: " << config.runs << ", RC = " << config.rc << "\n\n";
+            << "runs: " << config.runs << ", RC = " << config.rc
+            << ", threads = " << ResolveThreadCount(config.threads) << "\n\n";
   PrintDatasetBanner(spec, dataset);
 
   const ExperimentConfig experiment = config.ToExperimentConfig();
   const GraphProperties properties =
       ComputeProperties(dataset, experiment.property_options);
   const auto aggregate = RunDataset(dataset, properties, experiment,
-                                    config.runs, 0x7AB'5000);
+                                    config.runs, 0x7AB'5000, config.threads);
 
   std::vector<std::string> headers = {"Method"};
   for (const auto& prop : PropertyNames()) headers.push_back(prop);

@@ -6,7 +6,6 @@
 #include <numeric>
 #include <queue>
 #include <thread>
-#include <unordered_map>
 
 #include "dk/dk_extract.h"
 #include "graph/components.h"
@@ -15,6 +14,10 @@
 namespace sgr {
 
 std::vector<double> DegreeDistribution(const Graph& g) {
+  return DegreeDistribution(CsrGraph(g));
+}
+
+std::vector<double> DegreeDistribution(const CsrGraph& g) {
   const DegreeVector dv = ExtractDegreeVector(g);
   std::vector<double> p(dv.size(), 0.0);
   if (g.NumNodes() == 0) return p;
@@ -25,6 +28,10 @@ std::vector<double> DegreeDistribution(const Graph& g) {
 }
 
 std::vector<double> NeighborConnectivity(const Graph& g) {
+  return NeighborConnectivity(CsrGraph(g));
+}
+
+std::vector<double> NeighborConnectivity(const CsrGraph& g) {
   const std::size_t k_max = g.MaxDegree();
   std::vector<double> sums(k_max + 1, 0.0);
   std::vector<std::size_t> counts(k_max + 1, 0);
@@ -32,7 +39,7 @@ std::vector<double> NeighborConnectivity(const Graph& g) {
     const std::size_t k = g.Degree(v);
     if (k == 0) continue;
     double neighbor_degree_sum = 0.0;
-    for (NodeId w : g.adjacency(v)) {
+    for (NodeId w : g.neighbors(v)) {
       neighbor_degree_sum += static_cast<double>(g.Degree(w));
     }
     sums[k] += neighbor_degree_sum / static_cast<double>(k);
@@ -45,9 +52,14 @@ std::vector<double> NeighborConnectivity(const Graph& g) {
   return knn;
 }
 
-double NetworkClusteringCoefficient(const Graph& g) {
+namespace {
+
+/// c̄ from a precomputed triangle vector — the single home of the global
+/// clustering formula; both public entry points and ComputeProperties'
+/// shared triangle pass route through it.
+double NetworkClusteringFromTriangles(const CsrGraph& g,
+                                      const std::vector<std::int64_t>& t) {
   if (g.NumNodes() == 0) return 0.0;
-  const std::vector<std::int64_t> t = CountTrianglesPerNode(g);
   double total = 0.0;
   for (NodeId v = 0; v < g.NumNodes(); ++v) {
     const std::size_t d = g.Degree(v);
@@ -59,34 +71,57 @@ double NetworkClusteringCoefficient(const Graph& g) {
   return total / static_cast<double>(g.NumNodes());
 }
 
+}  // namespace
+
+double NetworkClusteringCoefficient(const Graph& g) {
+  return NetworkClusteringCoefficient(CsrGraph(g));
+}
+
+double NetworkClusteringCoefficient(const CsrGraph& g) {
+  return NetworkClusteringFromTriangles(g, CountTrianglesPerNode(g));
+}
+
 std::vector<double> EdgewiseSharedPartners(const Graph& g) {
-  // Per-node distinct-neighbor multiplicity maps for common-neighbor sums.
-  std::vector<std::unordered_map<NodeId, std::int64_t>> nbr(g.NumNodes());
-  for (const Edge& e : g.edges()) {
-    if (e.u == e.v) {
-      nbr[e.u][e.u] += 2;
-    } else {
-      ++nbr[e.u][e.v];
-      ++nbr[e.v][e.u];
-    }
-  }
+  return EdgewiseSharedPartners(CsrGraph(g));
+}
+
+std::vector<double> EdgewiseSharedPartners(const CsrGraph& g) {
+  // The shared-partner count of an edge (u, v) is Σ_{w != u,v} A_uw A_vw,
+  // identical for all parallel copies of the edge: compute it once per
+  // distinct connected pair by probing the smaller distinct-neighbor list
+  // against the larger sorted range, then weight the histogram entry by
+  // the pair's multiplicity.
   std::vector<std::int64_t> histogram;
-  std::size_t counted_edges = 0;
-  for (const Edge& e : g.edges()) {
-    if (e.u == e.v) continue;  // the i < j sum never sees loops
-    const NodeId a = nbr[e.u].size() <= nbr[e.v].size() ? e.u : e.v;
-    const NodeId b = (a == e.u) ? e.v : e.u;
-    std::int64_t shared = 0;
-    for (const auto& [w, mult_aw] : nbr[a]) {
-      if (w == e.u || w == e.v) continue;
-      auto it = nbr[b].find(w);
-      if (it != nbr[b].end()) shared += mult_aw * it->second;
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    const NeighborSpan nbrs = g.neighbors(u);
+    std::size_t i = 0;
+    while (i < nbrs.size()) {
+      const NodeId v = nbrs[i];
+      std::size_t run = 1;
+      while (i + run < nbrs.size() && nbrs[i + run] == v) ++run;
+      i += run;
+      if (v <= u) continue;  // handle each pair once; loops never count
+      const NodeId small = g.Degree(u) <= g.Degree(v) ? u : v;
+      const NodeId large = (small == u) ? v : u;
+      const NeighborSpan sn = g.neighbors(small);
+      const NeighborSpan ln = g.neighbors(large);
+      std::int64_t shared = 0;
+      std::size_t a = 0;
+      while (a < sn.size()) {
+        const NodeId w = sn[a];
+        std::size_t mult = 1;
+        while (a + mult < sn.size() && sn[a + mult] == w) ++mult;
+        a += mult;
+        if (w == u || w == v) continue;
+        const auto range = std::equal_range(ln.begin(), ln.end(), w);
+        shared += static_cast<std::int64_t>(mult) *
+                  static_cast<std::int64_t>(range.second - range.first);
+      }
+      if (static_cast<std::size_t>(shared) >= histogram.size()) {
+        histogram.resize(shared + 1, 0);
+      }
+      histogram[shared] += static_cast<std::int64_t>(run);
     }
-    if (static_cast<std::size_t>(shared) >= histogram.size()) {
-      histogram.resize(shared + 1, 0);
-    }
-    ++histogram[shared];
-    ++counted_edges;
   }
   std::vector<double> p(histogram.size(), 0.0);
   if (g.NumEdges() > 0) {
@@ -95,11 +130,15 @@ std::vector<double> EdgewiseSharedPartners(const Graph& g) {
              static_cast<double>(g.NumEdges());
     }
   }
-  (void)counted_edges;
   return p;
 }
 
 double LargestEigenvalue(const Graph& g, std::size_t max_iterations,
+                         double tolerance) {
+  return LargestEigenvalue(CsrGraph(g), max_iterations, tolerance);
+}
+
+double LargestEigenvalue(const CsrGraph& g, std::size_t max_iterations,
                          double tolerance) {
   const std::size_t n = g.NumNodes();
   if (n == 0) return 0.0;
@@ -123,7 +162,7 @@ double LargestEigenvalue(const Graph& g, std::size_t max_iterations,
   for (std::size_t iter = 0; iter < max_iterations; ++iter) {
     for (NodeId v = 0; v < n; ++v) {
       double acc = x[v];
-      for (NodeId w : g.adjacency(v)) acc += x[w];
+      for (NodeId w : g.neighbors(v)) acc += x[w];
       y[v] = acc;
     }
     const double rayleigh =
@@ -142,10 +181,76 @@ double LargestEigenvalue(const Graph& g, std::size_t max_iterations,
 
 namespace {
 
+/// Simplified largest connected component of `g` as a CSR snapshot:
+/// loops dropped, parallel edges collapsed, nodes renumbered densely in
+/// ascending original-id order (the same numbering
+/// LargestConnectedComponent(g.Simplified()) produces).
+CsrGraph SimplifiedLccCsr(const CsrGraph& g) {
+  const std::size_t n = g.NumNodes();
+  if (n == 0) return CsrGraph();
+
+  // Connected components by BFS over the snapshot.
+  constexpr std::size_t kUnvisited = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> component_of(n, kUnvisited);
+  std::vector<std::size_t> sizes;
+  std::vector<NodeId> queue;
+  queue.reserve(n);
+  for (NodeId start = 0; start < n; ++start) {
+    if (component_of[start] != kUnvisited) continue;
+    const std::size_t comp = sizes.size();
+    sizes.push_back(0);
+    queue.clear();
+    queue.push_back(start);
+    component_of[start] = comp;
+    for (std::size_t head = 0; head < queue.size(); ++head) {
+      const NodeId v = queue[head];
+      ++sizes[comp];
+      for (NodeId w : g.neighbors(v)) {
+        if (component_of[w] == kUnvisited) {
+          component_of[w] = comp;
+          queue.push_back(w);
+        }
+      }
+    }
+  }
+  const std::size_t largest = static_cast<std::size_t>(
+      std::max_element(sizes.begin(), sizes.end()) - sizes.begin());
+
+  // Dense renumbering in ascending old-id order keeps neighbor ranges
+  // sorted after mapping.
+  std::vector<NodeId> old_to_new(n, static_cast<NodeId>(-1));
+  std::vector<NodeId> members;
+  members.reserve(sizes[largest]);
+  for (NodeId v = 0; v < n; ++v) {
+    if (component_of[v] == largest) {
+      old_to_new[v] = static_cast<NodeId>(members.size());
+      members.push_back(v);
+    }
+  }
+
+  // Build the simplified adjacency: run-length collapse of the sorted
+  // ranges drops parallel edges; loops are skipped outright.
+  std::vector<std::size_t> offsets(members.size() + 1, 0);
+  std::vector<NodeId> neighbors;
+  for (std::size_t idx = 0; idx < members.size(); ++idx) {
+    const NodeId v = members[idx];
+    const NeighborSpan nbrs = g.neighbors(v);
+    std::size_t i = 0;
+    while (i < nbrs.size()) {
+      const NodeId w = nbrs[i];
+      while (i < nbrs.size() && nbrs[i] == w) ++i;
+      if (w == v) continue;
+      neighbors.push_back(old_to_new[w]);
+    }
+    offsets[idx + 1] = neighbors.size();
+  }
+  return CsrGraph::FromAdjacency(std::move(offsets), std::move(neighbors));
+}
+
 /// One Brandes pass from `source` over a connected simple graph: fills
 /// `distance` and accumulates dependencies into `betweenness`, and the
 /// per-distance pair counts into `length_histogram`.
-void BrandesPass(const Graph& g, NodeId source,
+void BrandesPass(const CsrGraph& g, NodeId source,
                  std::vector<double>& betweenness,
                  std::vector<std::int64_t>& length_histogram,
                  double& distance_sum, std::size_t& eccentricity,
@@ -165,7 +270,7 @@ void BrandesPass(const Graph& g, NodeId source,
     const NodeId v = frontier.front();
     frontier.pop();
     order.push_back(v);
-    for (NodeId w : g.adjacency(v)) {
+    for (NodeId w : g.neighbors(v)) {
       if (distance[w] < 0) {
         distance[w] = distance[v] + 1;
         frontier.push(w);
@@ -185,7 +290,7 @@ void BrandesPass(const Graph& g, NodeId source,
   // Dependency accumulation in reverse BFS order.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const NodeId w = *it;
-    for (NodeId v : g.adjacency(w)) {
+    for (NodeId v : g.neighbors(w)) {
       if (distance[v] == distance[w] - 1) {
         delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
       }
@@ -197,7 +302,8 @@ void BrandesPass(const Graph& g, NodeId source,
 }  // namespace
 
 std::vector<double> BetweennessCentrality(const Graph& g) {
-  const std::size_t n = g.NumNodes();
+  const CsrGraph csr(g);
+  const std::size_t n = csr.NumNodes();
   std::vector<double> betweenness(n, 0.0);
   std::vector<std::int64_t> hist;
   std::vector<int> distance(n);
@@ -207,16 +313,21 @@ std::vector<double> BetweennessCentrality(const Graph& g) {
   double distance_sum = 0.0;
   std::size_t ecc = 0;
   for (NodeId s = 0; s < n; ++s) {
-    BrandesPass(g, s, betweenness, hist, distance_sum, ecc, distance, sigma,
-                delta, order);
+    BrandesPass(csr, s, betweenness, hist, distance_sum, ecc, distance,
+                sigma, delta, order);
   }
   return betweenness;
 }
 
 ShortestPathProperties ComputeShortestPathProperties(
     const Graph& g, const PropertyOptions& options) {
+  return ComputeShortestPathProperties(CsrGraph(g), options);
+}
+
+ShortestPathProperties ComputeShortestPathProperties(
+    const CsrGraph& g, const PropertyOptions& options) {
   ShortestPathProperties result;
-  const Graph lcc = LargestConnectedComponent(g.Simplified());
+  const CsrGraph lcc = SimplifiedLccCsr(g);
   const std::size_t n = lcc.NumNodes();
   if (n < 2) return result;
 
@@ -317,13 +428,24 @@ ShortestPathProperties ComputeShortestPathProperties(
 
 GraphProperties ComputeProperties(const Graph& g,
                                   const PropertyOptions& options) {
+  return ComputeProperties(CsrGraph(g), options);
+}
+
+GraphProperties ComputeProperties(const CsrGraph& g,
+                                  const PropertyOptions& options) {
   GraphProperties p;
   p.num_nodes = g.NumNodes();
   p.average_degree = g.AverageDegree();
   p.degree_dist = DegreeDistribution(g);
   p.neighbor_connectivity = NeighborConnectivity(g);
-  p.clustering_global = NetworkClusteringCoefficient(g);
-  p.clustering_by_degree = ExtractDegreeDependentClustering(g);
+
+  // One triangle pass feeds both clustering properties (5) and (6).
+  {
+    const std::vector<std::int64_t> t = CountTrianglesPerNode(g);
+    p.clustering_global = NetworkClusteringFromTriangles(g, t);
+    p.clustering_by_degree = ExtractDegreeDependentClustering(g, t);
+  }
+
   p.esp_dist = EdgewiseSharedPartners(g);
   const ShortestPathProperties sp =
       ComputeShortestPathProperties(g, options);

@@ -2,11 +2,16 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <unordered_map>
 
 namespace sgr {
 
 DegreeVector ExtractDegreeVector(const Graph& g) {
+  DegreeVector dv(g.MaxDegree() + 1, 0);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) ++dv[g.Degree(v)];
+  return dv;
+}
+
+DegreeVector ExtractDegreeVector(const CsrGraph& g) {
   DegreeVector dv(g.MaxDegree() + 1, 0);
   for (NodeId v = 0; v < g.NumNodes(); ++v) ++dv[g.Degree(v)];
   return dv;
@@ -21,45 +26,65 @@ JointDegreeMatrix ExtractJointDegreeMatrix(const Graph& g) {
   return jdm;
 }
 
-namespace {
+std::vector<std::int64_t> CountTrianglesPerNode(const Graph& g) {
+  return CountTrianglesPerNode(CsrGraph(g));
+}
 
-/// Degree-ordered triangle enumeration for simple graphs: orient each edge
-/// from the lower-ranked endpoint (by degree, then id) to the higher-ranked
-/// one; every triangle has exactly one node with two out-edges, found by
-/// intersecting forward lists. O(m^{3/2}) overall.
-std::vector<std::int64_t> SimpleTriangles(const Graph& g) {
+std::vector<std::int64_t> CountTrianglesPerNode(const CsrGraph& g) {
   const std::size_t n = g.NumNodes();
   std::vector<std::int64_t> t(n, 0);
   auto rank_less = [&g](NodeId a, NodeId b) {
     return g.Degree(a) != g.Degree(b) ? g.Degree(a) < g.Degree(b) : a < b;
   };
-  std::vector<std::vector<NodeId>> forward(n);
-  for (const Edge& e : g.edges()) {
-    if (rank_less(e.u, e.v)) {
-      forward[e.u].push_back(e.v);
-    } else {
-      forward[e.v].push_back(e.u);
+
+  // Forward lists: for each node, its distinct higher-ranked neighbors with
+  // edge multiplicities, in ascending id order. The sorted CSR ranges make
+  // distinct-neighbor extraction a run-length scan, and id order is
+  // preserved, so intersections below are linear merges.
+  std::vector<std::size_t> offsets(n + 1, 0);
+  std::vector<NodeId> fwd_nbr;
+  std::vector<std::int64_t> fwd_mult;
+  fwd_nbr.reserve(g.NumEdges());
+  fwd_mult.reserve(g.NumEdges());
+  for (NodeId v = 0; v < n; ++v) {
+    const NeighborSpan nbrs = g.neighbors(v);
+    std::size_t i = 0;
+    while (i < nbrs.size()) {
+      const NodeId w = nbrs[i];
+      std::size_t run = 1;
+      while (i + run < nbrs.size() && nbrs[i + run] == w) ++run;
+      i += run;
+      if (w == v) continue;  // loops form no triangles
+      if (rank_less(v, w)) {
+        fwd_nbr.push_back(w);
+        fwd_mult.push_back(static_cast<std::int64_t>(run));
+      }
     }
+    offsets[v + 1] = fwd_nbr.size();
   }
-  for (auto& list : forward) std::sort(list.begin(), list.end());
-  // Each triangle {a, b, c} with rank a < b < c is oriented a->b, a->c,
-  // b->c and is found exactly once: at the directed edge (a, b), as the
-  // intersection of forward[a] and forward[b].
+
+  // Every triangle {a, b, c} with rank a < b < c is oriented a->b, a->c,
+  // b->c and found exactly once: at the directed edge (a, b), as the
+  // intersection of the forward lists of a and b. The multiplicity product
+  // A_ab A_ac A_bc is what t_i = Σ_{j<l} A_ij A_il A_jl accumulates at
+  // each corner, so the same pass is exact for multigraphs.
   for (NodeId u = 0; u < n; ++u) {
-    const auto& fu = forward[u];
-    for (const NodeId v : fu) {
-      const auto& fv = forward[v];
-      std::size_t a = 0;
-      std::size_t b = 0;
-      while (a < fu.size() && b < fv.size()) {
-        if (fu[a] < fv[b]) {
+    for (std::size_t e = offsets[u]; e < offsets[u + 1]; ++e) {
+      const NodeId v = fwd_nbr[e];
+      const std::int64_t m_uv = fwd_mult[e];
+      std::size_t a = offsets[u];
+      std::size_t b = offsets[v];
+      while (a < offsets[u + 1] && b < offsets[v + 1]) {
+        if (fwd_nbr[a] < fwd_nbr[b]) {
           ++a;
-        } else if (fu[a] > fv[b]) {
+        } else if (fwd_nbr[a] > fwd_nbr[b]) {
           ++b;
         } else {
-          ++t[u];
-          ++t[v];
-          ++t[fu[a]];
+          const NodeId w = fwd_nbr[a];
+          const std::int64_t weight = m_uv * fwd_mult[a] * fwd_mult[b];
+          t[u] += weight;
+          t[v] += weight;
+          t[w] += weight;
           ++a;
           ++b;
         }
@@ -69,59 +94,23 @@ std::vector<std::int64_t> SimpleTriangles(const Graph& g) {
   return t;
 }
 
-/// Multiplicity-aware fallback: t_i = 1/2 Σ_{j≠l, j,l≠i} A_ij A_il A_jl,
-/// evaluated with per-node distinct-neighbor maps.
-std::vector<std::int64_t> MultigraphTriangles(const Graph& g) {
-  const std::size_t n = g.NumNodes();
-  std::vector<std::int64_t> t(n, 0);
-  // Global pair multiplicity for O(1) A_jl lookups.
-  std::unordered_map<std::uint64_t, std::int64_t> pair_count;
-  for (const Edge& e : g.edges()) {
-    if (e.u == e.v) continue;  // loops form no triangles
-    const NodeId lo = std::min(e.u, e.v);
-    const NodeId hi = std::max(e.u, e.v);
-    ++pair_count[(static_cast<std::uint64_t>(lo) << 32) | hi];
-  }
-  auto count = [&pair_count](NodeId a, NodeId b) -> std::int64_t {
-    const NodeId lo = std::min(a, b);
-    const NodeId hi = std::max(a, b);
-    auto it = pair_count.find((static_cast<std::uint64_t>(lo) << 32) | hi);
-    return it == pair_count.end() ? 0 : it->second;
-  };
-  for (NodeId i = 0; i < n; ++i) {
-    // Distinct neighbors with multiplicities (excluding i itself).
-    std::unordered_map<NodeId, std::int64_t> nbr;
-    for (NodeId w : g.adjacency(i)) {
-      if (w != i) ++nbr[w];
-    }
-    std::int64_t twice = 0;
-    for (const auto& [j, aij] : nbr) {
-      for (const auto& [l, ail] : nbr) {
-        if (j == l) continue;
-        twice += aij * ail * count(j, l);
-      }
-    }
-    t[i] = twice / 2;
-  }
-  return t;
-}
-
-}  // namespace
-
-std::vector<std::int64_t> CountTrianglesPerNode(const Graph& g) {
-  if (g.IsSimple()) return SimpleTriangles(g);
-  return MultigraphTriangles(g);
-}
-
 std::vector<double> ExtractDegreeDependentClustering(const Graph& g) {
+  return ExtractDegreeDependentClustering(CsrGraph(g));
+}
+
+std::vector<double> ExtractDegreeDependentClustering(const CsrGraph& g) {
+  return ExtractDegreeDependentClustering(g, CountTrianglesPerNode(g));
+}
+
+std::vector<double> ExtractDegreeDependentClustering(
+    const CsrGraph& g, const std::vector<std::int64_t>& triangles) {
   const DegreeVector dv = ExtractDegreeVector(g);
-  const std::vector<std::int64_t> t = CountTrianglesPerNode(g);
   std::vector<double> c(dv.size(), 0.0);
   std::vector<double> sums(dv.size(), 0.0);
   for (NodeId v = 0; v < g.NumNodes(); ++v) {
     const std::size_t k = g.Degree(v);
     if (k >= 2) {
-      sums[k] += 2.0 * static_cast<double>(t[v]) /
+      sums[k] += 2.0 * static_cast<double>(triangles[v]) /
                  (static_cast<double>(k) * static_cast<double>(k - 1));
     }
   }

@@ -8,9 +8,79 @@
 #include <unordered_set>
 #include <vector>
 
+#include "graph/csr_graph.h"
+
 namespace sgr {
 
 namespace {
+
+/// Compact CSR snapshot of the crawled neighborhood. The sampling list
+/// stores neighbors in per-node hash maps — convenient to build during the
+/// crawl, but the estimator's inner loops (induced-edge counting and the
+/// clustering indicator) perform O(Σ_i d(x_i)) lookups, and hash probes
+/// dominate their runtime. The snapshot renumbers the queried nodes
+/// densely, flattens their neighbor lists into offset + neighbor arrays
+/// (sorted by original id, so adjacency tests are binary searches), and
+/// pre-resolves each neighbor entry to its compact id once, so the hot
+/// loops below are pure array traversals.
+struct CrawlCsr {
+  static constexpr std::uint32_t kNotQueried =
+      static_cast<std::uint32_t>(-1);
+
+  std::vector<NodeId> original_id;     ///< compact -> original
+  std::vector<std::size_t> offsets;    ///< per compact node, size q+1
+  std::vector<NodeId> neighbors;       ///< original ids, sorted per node
+  std::vector<std::uint32_t> compact_neighbors;  ///< aligned with neighbors
+  std::vector<std::uint32_t> degree;   ///< per compact node
+  std::unordered_map<NodeId, std::uint32_t> to_compact;  ///< original -> compact
+
+  explicit CrawlCsr(const SamplingList& list) {
+    const std::size_t q = list.neighbors.size();
+    original_id.reserve(q);
+    to_compact.reserve(q * 2);
+    for (const auto& [u, nbrs] : list.neighbors) {
+      (void)nbrs;
+      to_compact.emplace(u, static_cast<std::uint32_t>(original_id.size()));
+      original_id.push_back(u);
+    }
+    offsets.assign(q + 1, 0);
+    for (std::size_t c = 0; c < q; ++c) {
+      offsets[c + 1] =
+          offsets[c] + list.neighbors.at(original_id[c]).size();
+    }
+    neighbors.resize(offsets[q]);
+    compact_neighbors.resize(offsets[q]);
+    degree.resize(q);
+    for (std::size_t c = 0; c < q; ++c) {
+      const std::vector<NodeId>& nbrs = list.neighbors.at(original_id[c]);
+      degree[c] = static_cast<std::uint32_t>(nbrs.size());
+      std::copy(nbrs.begin(), nbrs.end(), neighbors.begin() + offsets[c]);
+      std::sort(neighbors.begin() + offsets[c],
+                neighbors.begin() + offsets[c + 1]);
+      for (std::size_t e = offsets[c]; e < offsets[c + 1]; ++e) {
+        auto it = to_compact.find(neighbors[e]);
+        compact_neighbors[e] =
+            it == to_compact.end() ? kNotQueried : it->second;
+      }
+    }
+  }
+
+  /// True if `original` (an original id) is adjacent to compact node `c`.
+  bool Adjacent(std::uint32_t c, NodeId original) const {
+    return std::binary_search(neighbors.begin() + offsets[c],
+                              neighbors.begin() + offsets[c + 1], original);
+  }
+
+  /// Number of distinct nodes seen anywhere in the crawl (queried nodes
+  /// plus their neighbors) — the lower-bound fallback for n̂.
+  std::size_t DistinctSeen() const {
+    std::vector<NodeId> all(neighbors);
+    all.insert(all.end(), original_id.begin(), original_id.end());
+    std::sort(all.begin(), all.end());
+    all.erase(std::unique(all.begin(), all.end()), all.end());
+    return all.size();
+  }
+};
 
 /// Lag threshold M = max(1, round(fraction * r)).
 std::size_t LagThreshold(std::size_t r, double fraction) {
@@ -114,15 +184,28 @@ LocalEstimates EstimateLocalProperties(const SamplingList& list,
   const std::vector<NodeId>& walk = list.visit_sequence;
   const std::size_t m = LagThreshold(r, options.collision_threshold_fraction);
 
+  // Immutable snapshot of the crawled neighborhood; every lookup below is
+  // an array access instead of a hash probe.
+  const CrawlCsr crawl(list);
+  std::vector<std::uint32_t> walk_compact(r);
+  for (std::size_t i = 0; i < r; ++i) {
+    walk_compact[i] = crawl.to_compact.at(walk[i]);
+  }
+  auto degree_at = [&](std::size_t i) {
+    return static_cast<std::size_t>(crawl.degree[walk_compact[i]]);
+  };
+
   LocalEstimates est;
 
   // --- Degrees, Φ̄, Φ(k). ---
   std::size_t max_degree = 0;
-  for (NodeId v : walk) max_degree = std::max(max_degree, list.DegreeOf(v));
+  for (std::size_t i = 0; i < r; ++i) {
+    max_degree = std::max(max_degree, degree_at(i));
+  }
   std::vector<double> degree_count(max_degree + 1, 0.0);
   double phi_bar = 0.0;
-  for (NodeId v : walk) {
-    const std::size_t d = list.DegreeOf(v);
+  for (std::size_t i = 0; i < r; ++i) {
+    const std::size_t d = degree_at(i);
     degree_count[d] += 1.0;
     phi_bar += 1.0 / static_cast<double>(d);
   }
@@ -141,20 +224,15 @@ LocalEstimates EstimateLocalProperties(const SamplingList& list,
 
   // --- Number of nodes (fallback: number of distinct nodes seen, a lower
   //     bound available from the sampling list itself). ---
-  std::unordered_set<NodeId> seen;
-  for (const auto& [u, nbrs] : list.neighbors) {
-    seen.insert(u);
-    for (NodeId w : nbrs) seen.insert(w);
-  }
-  est.num_nodes =
-      EstimateNumNodes(list, static_cast<double>(seen.size()), options);
+  est.num_nodes = EstimateNumNodes(
+      list, static_cast<double>(crawl.DistinctSeen()), options);
 
   // --- Joint degree distribution: hybrid of IE and TE (Section III-E). ---
   // TE: traversed edges (consecutive walk pairs).
   SparseJointDist te;
   for (std::size_t i = 0; i + 1 < r; ++i) {
-    const auto k = static_cast<std::uint32_t>(list.DegreeOf(walk[i]));
-    const auto kp = static_cast<std::uint32_t>(list.DegreeOf(walk[i + 1]));
+    const auto k = static_cast<std::uint32_t>(degree_at(i));
+    const auto kp = static_cast<std::uint32_t>(degree_at(i + 1));
     // Both indicator terms of P̂TE fire for (k, k') and for (k', k); each
     // consecutive pair contributes 1/(2(r-1)) to each ordering (twice that
     // on the diagonal).
@@ -166,22 +244,29 @@ LocalEstimates EstimateLocalProperties(const SamplingList& list,
   // and each neighbor w of x_i that occurs in the walk at lag >= M, count 1
   // (A_{x_i, x_j} = 1 exactly when x_j is a neighbor of x_i; originals are
   // simple). Grouped per (d(x_i), d(w)) class.
-  const auto positions = PositionsByNode(walk);
+  //
+  // Walk positions per compact node id (only walk nodes get entries; a
+  // queried-but-never-visited node, as Metropolis-Hastings produces, has
+  // an empty list).
+  std::vector<std::vector<std::size_t>> positions(crawl.degree.size());
+  for (std::size_t i = 0; i < r; ++i) {
+    positions[walk_compact[i]].push_back(i);
+  }
   std::unordered_map<std::uint64_t, double> ie_counts;
   for (std::size_t i = 0; i < r; ++i) {
-    const NodeId u = walk[i];
-    const auto& nbrs = list.neighbors.at(u);
+    const std::uint32_t u = walk_compact[i];
     // Deduplicate neighbors that appear in the walk (each neighbor edge is
     // a single adjacency-matrix entry regardless of how often w occurs).
-    for (NodeId w : nbrs) {
-      auto it = positions.find(w);
-      if (it == positions.end()) continue;
-      const std::vector<std::size_t>& pos = it->second;
+    for (std::size_t e = crawl.offsets[u]; e < crawl.offsets[u + 1]; ++e) {
+      const std::uint32_t w = crawl.compact_neighbors[e];
+      if (w == CrawlCsr::kNotQueried) continue;
+      const std::vector<std::size_t>& pos = positions[w];
+      if (pos.empty()) continue;
       const std::size_t within = CountWithinWindow(pos, i, m);
       const std::size_t far = pos.size() - within;
       if (far == 0) continue;
-      const auto k = static_cast<std::uint32_t>(list.DegreeOf(u));
-      const auto kp = static_cast<std::uint32_t>(list.DegreeOf(w));
+      const auto k = static_cast<std::uint32_t>(crawl.degree[u]);
+      const auto kp = static_cast<std::uint32_t>(crawl.degree[w]);
       ie_counts[DegreePairKey(k, kp)] += static_cast<double>(far);
     }
   }
@@ -235,18 +320,12 @@ LocalEstimates EstimateLocalProperties(const SamplingList& list,
 
   // --- Degree-dependent clustering ĉ̄(k) = Φ_c(k) / Φ(k). ---
   // Φ_c(k) = 1/((k-1)(r-2)) Σ_{i=2}^{r-1} 1{d(x_i)=k} A_{x_{i-1}, x_{i+1}}.
-  std::unordered_map<NodeId, std::unordered_set<NodeId>> nbr_sets;
-  nbr_sets.reserve(list.neighbors.size());
-  for (const auto& [u, nbrs] : list.neighbors) {
-    nbr_sets.emplace(u, std::unordered_set<NodeId>(nbrs.begin(), nbrs.end()));
-  }
   std::vector<double> phi_c(max_degree + 1, 0.0);
   for (std::size_t i = 1; i + 1 < r; ++i) {
-    const NodeId prev = walk[i - 1];
     const NodeId next = walk[i + 1];
-    if (prev == next) continue;  // A_vv = 0 in a simple graph
-    if (nbr_sets.at(prev).count(next) > 0) {
-      phi_c[list.DegreeOf(walk[i])] += 1.0;
+    if (walk[i - 1] == next) continue;  // A_vv = 0 in a simple graph
+    if (crawl.Adjacent(walk_compact[i - 1], next)) {
+      phi_c[degree_at(i)] += 1.0;
     }
   }
   est.clustering.assign(max_degree + 1, 0.0);

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "exp/parallel.h"
 #include "restore/gjoka.h"
 #include "restore/proposed.h"
 #include "restore/subgraph_method.h"
@@ -36,18 +37,11 @@ MethodRunResult Evaluate(MethodKind kind, RestorationResult restoration,
   return result;
 }
 
-}  // namespace
-
-double EnvOr(const char* name, double fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr || *value == '\0') return fallback;
-  char* end = nullptr;
-  const double parsed = std::strtod(value, &end);
-  return end == value ? fallback : parsed;
-}
-
-std::vector<MethodRunResult> RunExperiment(
-    const Graph& original, const GraphProperties& original_properties,
+/// Shared implementation: `GraphT` is Graph or CsrGraph; QueryOracle
+/// accepts either, so the sampling/restoration pipeline is unchanged.
+template <typename GraphT>
+std::vector<MethodRunResult> RunExperimentImpl(
+    const GraphT& original, const GraphProperties& original_properties,
     const ExperimentConfig& config, std::uint64_t run_seed) {
   std::vector<MethodRunResult> results;
   Rng rng(run_seed);
@@ -109,6 +103,41 @@ std::vector<MethodRunResult> RunExperiment(
     }
   }
   return results;
+}
+
+}  // namespace
+
+double EnvOr(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value, &end);
+  return end == value ? fallback : parsed;
+}
+
+std::vector<MethodRunResult> RunExperiment(
+    const Graph& original, const GraphProperties& original_properties,
+    const ExperimentConfig& config, std::uint64_t run_seed) {
+  return RunExperimentImpl(original, original_properties, config, run_seed);
+}
+
+std::vector<MethodRunResult> RunExperiment(
+    const CsrGraph& original, const GraphProperties& original_properties,
+    const ExperimentConfig& config, std::uint64_t run_seed) {
+  return RunExperimentImpl(original, original_properties, config, run_seed);
+}
+
+std::vector<std::vector<MethodRunResult>> RunExperiments(
+    const Graph& original, const GraphProperties& original_properties,
+    const ExperimentConfig& config, std::uint64_t seed_base,
+    std::size_t num_trials, std::size_t threads) {
+  const CsrGraph snapshot(original);
+  std::vector<std::vector<MethodRunResult>> trials(num_trials);
+  ParallelFor(num_trials, threads, [&](std::size_t i) {
+    trials[i] = RunExperimentImpl(snapshot, original_properties, config,
+                                  seed_base + i);
+  });
+  return trials;
 }
 
 }  // namespace sgr

@@ -16,9 +16,9 @@ SamplingList BfsSample(QueryOracle& oracle, NodeId seed,
   while (!frontier.empty() && list.NumQueried() < target_queried) {
     NodeId v = frontier.front();
     frontier.pop();
-    const std::vector<NodeId>& nbrs = oracle.Query(v);
+    const NeighborSpan nbrs = oracle.Query(v);
     list.visit_sequence.push_back(v);
-    list.neighbors.try_emplace(v, nbrs);
+    list.neighbors.try_emplace(v, nbrs.begin(), nbrs.end());
     for (NodeId w : nbrs) {
       if (discovered.insert(w).second) frontier.push(w);
     }

@@ -40,9 +40,9 @@ SamplingList ForestFireSample(QueryOracle& oracle, NodeId seed,
     NodeId v = frontier.front();
     frontier.pop();
     if (list.neighbors.count(v) > 0) continue;
-    const std::vector<NodeId>& nbrs = oracle.Query(v);
+    const NeighborSpan nbrs = oracle.Query(v);
     list.visit_sequence.push_back(v);
-    list.neighbors.try_emplace(v, nbrs);
+    list.neighbors.try_emplace(v, nbrs.begin(), nbrs.end());
 
     std::vector<NodeId> unburned;
     for (NodeId w : nbrs) {

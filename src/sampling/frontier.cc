@@ -18,10 +18,10 @@ SamplingList FrontierSample(QueryOracle& oracle,
   std::vector<NodeId> walkers = seeds;
   std::vector<std::size_t> degrees(walkers.size());
   for (std::size_t i = 0; i < walkers.size(); ++i) {
-    const auto& nbrs = oracle.Query(walkers[i]);
+    const NeighborSpan nbrs = oracle.Query(walkers[i]);
     assert(!nbrs.empty());
     list.visit_sequence.push_back(walkers[i]);
-    list.neighbors.try_emplace(walkers[i], nbrs);
+    list.neighbors.try_emplace(walkers[i], nbrs.begin(), nbrs.end());
     degrees[i] = nbrs.size();
   }
 
@@ -39,10 +39,10 @@ SamplingList FrontierSample(QueryOracle& oracle,
     // Move it across a uniform incident edge.
     const auto& nbrs = list.neighbors.at(walkers[chosen]);
     const NodeId next = nbrs[rng.NextIndex(nbrs.size())];
-    const auto& next_nbrs = oracle.Query(next);
+    const NeighborSpan next_nbrs = oracle.Query(next);
     assert(!next_nbrs.empty());
     list.visit_sequence.push_back(next);
-    list.neighbors.try_emplace(next, next_nbrs);
+    list.neighbors.try_emplace(next, next_nbrs.begin(), next_nbrs.end());
     walkers[chosen] = next;
     degrees[chosen] = next_nbrs.size();
   }

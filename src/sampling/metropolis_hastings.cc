@@ -12,10 +12,10 @@ SamplingList MetropolisHastingsWalkSample(QueryOracle& oracle, NodeId seed,
   list.is_walk = true;
   NodeId current = seed;
   while (true) {
-    const std::vector<NodeId>& nbrs = oracle.Query(current);
+    const NeighborSpan nbrs = oracle.Query(current);
     assert(!nbrs.empty() && "walk reached an isolated node");
     list.visit_sequence.push_back(current);
-    list.neighbors.try_emplace(current, nbrs);
+    list.neighbors.try_emplace(current, nbrs.begin(), nbrs.end());
     if (list.NumQueried() >= target_queried) break;
     if (max_steps != 0 && list.visit_sequence.size() >= max_steps) break;
 
@@ -24,10 +24,11 @@ SamplingList MetropolisHastingsWalkSample(QueryOracle& oracle, NodeId seed,
     // standard MHRW query cost. The oracle memoizes repeat queries of the
     // same node, matching how crawlers cache neighbor lists in practice.
     const std::size_t d_current = nbrs.size();
-    const std::vector<NodeId>& proposal_nbrs = oracle.Query(proposal);
+    const NeighborSpan proposal_nbrs = oracle.Query(proposal);
     // The proposal's neighbor list was paid for; keep it in the sampling
     // list like any crawler caches fetched data.
-    list.neighbors.try_emplace(proposal, proposal_nbrs);
+    list.neighbors.try_emplace(proposal, proposal_nbrs.begin(),
+                               proposal_nbrs.end());
     const std::size_t d_proposal = proposal_nbrs.size();
     const double accept = static_cast<double>(d_current) /
                           static_cast<double>(d_proposal);

@@ -13,10 +13,10 @@ SamplingList NonBacktrackingWalkSample(QueryOracle& oracle, NodeId seed,
   bool has_previous = false;
   NodeId previous = seed;
   while (true) {
-    const std::vector<NodeId>& nbrs = oracle.Query(current);
+    const NeighborSpan nbrs = oracle.Query(current);
     assert(!nbrs.empty() && "walk reached an isolated node");
     list.visit_sequence.push_back(current);
-    list.neighbors.try_emplace(current, nbrs);
+    list.neighbors.try_emplace(current, nbrs.begin(), nbrs.end());
     if (list.NumQueried() >= target_queried) break;
     if (max_steps != 0 && list.visit_sequence.size() >= max_steps) break;
 

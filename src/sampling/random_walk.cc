@@ -11,10 +11,10 @@ SamplingList RandomWalkSample(QueryOracle& oracle, NodeId seed,
   list.is_walk = true;
   NodeId current = seed;
   while (true) {
-    const std::vector<NodeId>& nbrs = oracle.Query(current);
+    const NeighborSpan nbrs = oracle.Query(current);
     assert(!nbrs.empty() && "random walk reached an isolated node");
     list.visit_sequence.push_back(current);
-    list.neighbors.try_emplace(current, nbrs);
+    list.neighbors.try_emplace(current, nbrs.begin(), nbrs.end());
     if (list.NumQueried() >= target_queried) break;
     if (max_steps != 0 && list.visit_sequence.size() >= max_steps) break;
     current = nbrs[rng.NextIndex(nbrs.size())];

@@ -3,8 +3,10 @@
 
 #include <cstddef>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
+#include "graph/csr_graph.h"
 #include "graph/graph.h"
 
 namespace sgr {
@@ -15,15 +17,23 @@ namespace sgr {
 /// Every crawler in this library touches the original graph only through
 /// this oracle, which makes the information boundary of the problem explicit
 /// and lets tests assert how many queries a method spent.
+///
+/// The hidden graph can be either a Graph or an immutable CsrGraph
+/// snapshot. The snapshot form is what the parallel trial runner uses: one
+/// CsrGraph is shared read-only by every concurrent trial, each with its
+/// own oracle (the oracle itself carries per-crawl query-count state and
+/// must not be shared across threads).
 class QueryOracle {
  public:
   explicit QueryOracle(const Graph& g) : graph_(&g) {}
+  explicit QueryOracle(const CsrGraph& g) : csr_(&g) {}
 
   /// Returns N(v): one entry per incident edge endpoint.
   /// Counts the first query to each distinct node.
-  const std::vector<NodeId>& Query(NodeId v) {
-    if (queried_.insert({v, true}).second) ++unique_queries_;
-    return graph_->adjacency(v);
+  NeighborSpan Query(NodeId v) {
+    if (queried_.insert(v).second) ++unique_queries_;
+    return graph_ != nullptr ? NeighborSpan(graph_->adjacency(v))
+                             : csr_->neighbors(v);
   }
 
   /// Number of distinct nodes queried so far.
@@ -32,11 +42,14 @@ class QueryOracle {
   /// Number of nodes in the hidden graph. Exposed for the experiment
   /// harness only (to express budgets as "percent of nodes queried" as the
   /// paper does); restoration methods must not call this.
-  std::size_t HiddenNumNodes() const { return graph_->NumNodes(); }
+  std::size_t HiddenNumNodes() const {
+    return graph_ != nullptr ? graph_->NumNodes() : csr_->NumNodes();
+  }
 
  private:
-  const Graph* graph_;
-  std::unordered_map<NodeId, bool> queried_;
+  const Graph* graph_ = nullptr;
+  const CsrGraph* csr_ = nullptr;
+  std::unordered_set<NodeId> queried_;
   std::size_t unique_queries_ = 0;
 };
 

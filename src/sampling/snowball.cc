@@ -32,9 +32,9 @@ SamplingList SnowballSample(QueryOracle& oracle, NodeId seed,
     NodeId v = frontier.front();
     frontier.pop();
     if (list.neighbors.count(v) > 0) continue;
-    const std::vector<NodeId>& nbrs = oracle.Query(v);
+    const NeighborSpan nbrs = oracle.Query(v);
     list.visit_sequence.push_back(v);
-    list.neighbors.try_emplace(v, nbrs);
+    list.neighbors.try_emplace(v, nbrs.begin(), nbrs.end());
 
     // Choose up to `max_neighbors` distinct neighbors uniformly at random.
     std::vector<NodeId> unique(nbrs.begin(), nbrs.end());

@@ -1,0 +1,123 @@
+#include "graph/csr_graph.h"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+#include <vector>
+
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace sgr {
+namespace {
+
+/// A multigraph exercising every convention: loops, parallel edges,
+/// isolated nodes.
+Graph MessyMultigraph() {
+  Graph g(6);
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 0);  // parallel edge, reversed orientation
+  g.AddEdge(1, 2);
+  g.AddEdge(2, 2);  // loop
+  g.AddEdge(2, 2);  // second loop at the same node
+  g.AddEdge(3, 0);
+  // node 4 isolated, node 5 only a loop
+  g.AddEdge(5, 5);
+  return g;
+}
+
+/// Random multigraph: `num_edges` endpoints drawn uniformly (loops and
+/// parallel edges arise naturally).
+Graph RandomMultigraph(std::size_t num_nodes, std::size_t num_edges,
+                       Rng& rng) {
+  Graph g(num_nodes);
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    g.AddEdge(static_cast<NodeId>(rng.NextIndex(num_nodes)),
+              static_cast<NodeId>(rng.NextIndex(num_nodes)));
+  }
+  return g;
+}
+
+void ExpectParity(const Graph& g, const CsrGraph& csr) {
+  ASSERT_EQ(csr.NumNodes(), g.NumNodes());
+  EXPECT_EQ(csr.NumEdges(), g.NumEdges());
+  EXPECT_EQ(csr.TotalDegree(), g.TotalDegree());
+  EXPECT_EQ(csr.MaxDegree(), g.MaxDegree());
+  EXPECT_DOUBLE_EQ(csr.AverageDegree(), g.AverageDegree());
+  EXPECT_EQ(csr.IsSimple(), g.IsSimple());
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    ASSERT_EQ(csr.Degree(v), g.Degree(v)) << "v=" << v;
+    // Neighbor multisets must match; CSR additionally guarantees sorted
+    // order.
+    std::vector<NodeId> expected(g.adjacency(v).begin(),
+                                 g.adjacency(v).end());
+    std::sort(expected.begin(), expected.end());
+    const NeighborSpan nbrs = csr.neighbors(v);
+    ASSERT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end())) << "v=" << v;
+    ASSERT_TRUE(std::equal(expected.begin(), expected.end(), nbrs.begin(),
+                           nbrs.end()))
+        << "v=" << v;
+  }
+  for (NodeId u = 0; u < g.NumNodes(); ++u) {
+    for (NodeId v = 0; v < g.NumNodes(); ++v) {
+      EXPECT_EQ(csr.CountEdges(u, v), g.CountEdges(u, v))
+          << "u=" << u << " v=" << v;
+      EXPECT_EQ(csr.HasEdge(u, v), g.HasEdge(u, v));
+    }
+  }
+}
+
+TEST(CsrGraphTest, EmptyGraph) {
+  const CsrGraph csr((Graph()));
+  EXPECT_EQ(csr.NumNodes(), 0u);
+  EXPECT_EQ(csr.NumEdges(), 0u);
+  EXPECT_EQ(csr.MaxDegree(), 0u);
+  EXPECT_DOUBLE_EQ(csr.AverageDegree(), 0.0);
+  EXPECT_TRUE(csr.IsSimple());
+}
+
+TEST(CsrGraphTest, MessyMultigraphParity) {
+  const Graph g = MessyMultigraph();
+  const CsrGraph csr(g);
+  ExpectParity(g, csr);
+  // Spot checks of the conventions.
+  EXPECT_EQ(csr.Degree(2), 5u);           // 1 plain edge + 2 loops * 2
+  EXPECT_EQ(csr.CountEdges(2, 2), 4u);    // A_vv = 2 * loops
+  EXPECT_EQ(csr.CountEdges(0, 1), 2u);    // parallel edges
+  EXPECT_EQ(csr.Degree(4), 0u);
+  EXPECT_FALSE(csr.IsSimple());
+}
+
+TEST(CsrGraphTest, RandomMultigraphParity) {
+  Rng rng(77);
+  for (int round = 0; round < 5; ++round) {
+    const Graph g = RandomMultigraph(40, 120, rng);
+    ExpectParity(g, CsrGraph(g));
+  }
+}
+
+TEST(CsrGraphTest, SimpleGeneratedGraphParity) {
+  Rng rng(5);
+  const Graph g = GeneratePowerlawCluster(300, 3, 0.4, rng);
+  const CsrGraph csr(g);
+  ExpectParity(g, csr);
+  EXPECT_TRUE(csr.IsSimple());
+}
+
+TEST(CsrGraphTest, FromAdjacencyUnsortedInput) {
+  // Path 0-1-2 plus a loop at 2, given with unsorted neighbor ranges.
+  std::vector<std::size_t> offsets = {0, 1, 3, 6};
+  std::vector<NodeId> neighbors = {1, 2, 0, 2, 2, 1};
+  const CsrGraph csr =
+      CsrGraph::FromAdjacency(std::move(offsets), std::move(neighbors));
+  EXPECT_EQ(csr.NumNodes(), 3u);
+  EXPECT_EQ(csr.NumEdges(), 3u);  // 0-1, 1-2, loop at 2
+  EXPECT_EQ(csr.Degree(2), 3u);
+  EXPECT_EQ(csr.CountEdges(2, 2), 2u);
+  EXPECT_EQ(csr.CountEdges(1, 2), 1u);
+  EXPECT_FALSE(csr.IsSimple());
+  const NeighborSpan nbrs = csr.neighbors(2);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+}  // namespace
+}  // namespace sgr
