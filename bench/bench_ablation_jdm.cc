@@ -9,7 +9,8 @@
 // choice the paper inherits from Gjoka et al.
 //
 // Env knobs: SGR_RUNS (default 5), SGR_FRACTION (default 0.10),
-// SGR_DATASET_SCALE.
+// SGR_DATASET_SCALE. `--json PATH` records one report cell per dataset
+// (metrics: hybrid/IE/TE joint-distribution L1).
 
 #include <cmath>
 
@@ -58,6 +59,7 @@ int main(int argc, char** argv) {
             << "runs: " << config.runs << ", threads = "
             << ResolveThreadCount(config.threads) << "\n\n";
 
+  BenchJsonReport report("bench_ablation_jdm", config);
   TablePrinter table(std::cout,
                      {"Dataset", "Hybrid", "IE only", "TE only"});
   for (const DatasetSpec& spec : StandardDatasets()) {
@@ -103,8 +105,16 @@ int main(int argc, char** argv) {
     table.AddRow({spec.name, TablePrinter::Fixed(l1_hybrid * inv),
                   TablePrinter::Fixed(l1_ie * inv),
                   TablePrinter::Fixed(l1_te * inv)});
+    Json cell = CustomCell(spec, dataset);
+    Json metrics = Json::Object();
+    metrics.Set("hybrid_l1", Json::Number(l1_hybrid * inv));
+    metrics.Set("ie_l1", Json::Number(l1_ie * inv));
+    metrics.Set("te_l1", Json::Number(l1_te * inv));
+    cell.Set("metrics", std::move(metrics));
+    report.Add(std::move(cell));
   }
   table.Print();
+  report.WriteIfRequested();
   std::cout << "\nexpected shape: the hybrid column is at or below the "
                "better of the two pure columns on most datasets.\n";
   return 0;

@@ -5,7 +5,9 @@
 // clustering L1 objective and the rewiring time.
 //
 // Env knobs: SGR_RUNS (default 2), SGR_FRACTION, SGR_DATASET_SCALE,
-// SGR_DATASET (default "brightkite").
+// SGR_DATASET (default "brightkite"). `--json PATH` records one report
+// cell per RC value (metrics: initial/final D, accept rate; timings:
+// rewiring seconds).
 
 #include <cstdlib>
 
@@ -31,6 +33,7 @@ int main(int argc, char** argv) {
             << ", threads = " << ResolveThreadCount(config.threads)
             << "\n\n";
 
+  BenchJsonReport report("bench_ablation_rc", config);
   TablePrinter table(std::cout, {"RC", "initial D", "final D",
                                  "accept rate", "rewiring sec"});
   for (double rc : {0.0, 10.0, 50.0, 100.0, 250.0, 500.0}) {
@@ -76,8 +79,20 @@ int main(int argc, char** argv) {
                   TablePrinter::Fixed(d1 * inv),
                   TablePrinter::Fixed(accept * inv, 4),
                   TablePrinter::Fixed(seconds * inv, 2)});
+    Json cell = CustomCell(spec, dataset);
+    cell.Set("rc", Json::Number(rc));
+    Json metrics = Json::Object();
+    metrics.Set("initial_d", Json::Number(d0 * inv));
+    metrics.Set("final_d", Json::Number(d1 * inv));
+    metrics.Set("accept_rate", Json::Number(accept * inv));
+    cell.Set("metrics", std::move(metrics));
+    Json timings = Json::Object();
+    timings.Set("rewiring_seconds", Json::Number(seconds * inv));
+    cell.Set("timings", std::move(timings));
+    report.Add(std::move(cell));
   }
   table.Print();
+  report.WriteIfRequested();
   std::cout << "\nexpected shape: final D decreases monotonically with RC "
                "while rewiring time grows linearly — the accuracy/time "
                "trade-off the paper describes.\n";

@@ -8,7 +8,9 @@
 // measured here, together with whether the subgraph survives.
 //
 // Env knobs: SGR_RUNS (default 2), SGR_RC (default 200), SGR_FRACTION,
-// SGR_DATASET_SCALE.
+// SGR_DATASET_SCALE. `--json PATH` records one report cell per dataset
+// (metrics: final D and c(k) distance per variant, subgraph survival;
+// timings: rewiring seconds per variant).
 
 #include "analysis/l1.h"
 #include "bench_common.h"
@@ -34,6 +36,7 @@ int main(int argc, char** argv) {
             << ", threads = " << ResolveThreadCount(config.threads)
             << " ===\n\n";
 
+  BenchJsonReport report("bench_ablation_rewire", config);
   TablePrinter table(std::cout,
                      {"Dataset", "protected: final D", "all: final D",
                       "protected: c(k) vs orig", "all: c(k) vs orig",
@@ -131,8 +134,25 @@ int main(int argc, char** argv) {
                   TablePrinter::Fixed(sec_all * inv, 2),
                   std::string(intact_protected ? "yes" : "NO") + "/" +
                       (intact_all ? "yes" : "no")});
+    Json cell = CustomCell(spec, dataset);
+    Json metrics = Json::Object();
+    metrics.Set("protected_final_d", Json::Number(d_protected * inv));
+    metrics.Set("all_final_d", Json::Number(d_all * inv));
+    metrics.Set("protected_ck_vs_original",
+                Json::Number(c_protected * inv));
+    metrics.Set("all_ck_vs_original", Json::Number(c_all * inv));
+    metrics.Set("protected_subgraph_intact", Json::Bool(intact_protected));
+    metrics.Set("all_subgraph_intact", Json::Bool(intact_all));
+    cell.Set("metrics", std::move(metrics));
+    Json timings = Json::Object();
+    timings.Set("protected_rewiring_seconds",
+                Json::Number(sec_protected * inv));
+    timings.Set("all_rewiring_seconds", Json::Number(sec_all * inv));
+    cell.Set("timings", std::move(timings));
+    report.Add(std::move(cell));
   }
   table.Print();
+  report.WriteIfRequested();
   std::cout << "\nexpected shape: the protected variant is faster (fewer "
                "candidates) and keeps the subgraph intact, while the "
                "all-edges variant destroys subgraph edges and can drive D "

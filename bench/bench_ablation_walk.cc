@@ -10,7 +10,8 @@
 // the end-to-end average L1 of the restored graph.
 //
 // Env knobs: SGR_RUNS (default 3), SGR_RC (default 100), SGR_FRACTION,
-// SGR_PATH_SOURCES, SGR_DATASET_SCALE.
+// SGR_PATH_SOURCES, SGR_DATASET_SCALE. `--json PATH` records one report
+// cell per dataset (metrics: SRW/NBRW walk steps and average L1).
 
 #include "bench_common.h"
 #include "estimation/estimators.h"
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
             << ", threads = " << ResolveThreadCount(config.threads)
             << "\n\n";
 
+  BenchJsonReport report("bench_ablation_walk", config);
   TablePrinter table(std::cout,
                      {"Dataset", "SRW steps", "NBRW steps", "SRW avg L1",
                       "NBRW avg L1"});
@@ -96,8 +98,17 @@ int main(int argc, char** argv) {
                   TablePrinter::Fixed(nbrw_steps * inv, 0),
                   TablePrinter::Fixed(srw_l1 * inv),
                   TablePrinter::Fixed(nbrw_l1 * inv)});
+    Json cell = CustomCell(spec, dataset);
+    Json metrics = Json::Object();
+    metrics.Set("srw_steps", Json::Number(srw_steps * inv));
+    metrics.Set("nbrw_steps", Json::Number(nbrw_steps * inv));
+    metrics.Set("srw_avg_l1", Json::Number(srw_l1 * inv));
+    metrics.Set("nbrw_avg_l1", Json::Number(nbrw_l1 * inv));
+    cell.Set("metrics", std::move(metrics));
+    report.Add(std::move(cell));
   }
   table.Print();
+  report.WriteIfRequested();
   std::cout << "\nexpected shape: NBRW needs fewer walk steps for the same "
                "query budget; restoration accuracy is comparable.\n";
   return 0;

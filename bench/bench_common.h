@@ -7,6 +7,7 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/properties.h"
@@ -17,6 +18,8 @@
 #include "exp/table_printer.h"
 #include "graph/graph.h"
 #include "restore/method.h"
+#include "scenario/engine.h"
+#include "scenario/report.h"
 #include "util/timer.h"
 
 namespace sgr::bench {
@@ -36,12 +39,17 @@ namespace sgr::bench {
 /// Command-line flags (parsed by FromArgs) override the environment:
 ///   --threads N       same as SGR_THREADS
 ///   --runs N          same as SGR_RUNS
+///   --json PATH       additionally write the run as a structured JSON
+///                     report (scenario/report.h schema, the same format
+///                     `sgr run` emits), so every bench invocation can be
+///                     recorded as a BENCH_*.json data point
 struct BenchConfig {
   std::size_t runs;
   double rc;
   double fraction;
   std::size_t path_sources;
   std::size_t threads = 1;
+  std::string json_path;  ///< empty = no JSON report
 
   static BenchConfig FromEnv(std::size_t default_runs, double default_rc,
                              double default_fraction = 0.10,
@@ -86,6 +94,8 @@ struct BenchConfig {
       } else if (std::strcmp(argv[i], "--runs") == 0 &&
                  parse(argv[i + 1], &value) && value > 0) {
         c.runs = static_cast<std::size_t>(value);
+      } else if (std::strcmp(argv[i], "--json") == 0) {
+        c.json_path = argv[i + 1];
       }
     }
     return c;
@@ -103,45 +113,93 @@ struct BenchConfig {
     config.property_options.threads = 1;
     return config;
   }
-};
 
-/// Aggregate of one (dataset, method) cell across runs.
-struct MethodAggregate {
-  DistanceAccumulator distances;
-  double total_seconds = 0.0;
-  double rewiring_seconds = 0.0;
+  /// The shared config echo embedded in a --json report. Includes the
+  /// resolved dataset-scale knob so two recorded reports taken at
+  /// different $SGR_DATASET_SCALE are attributable to their matrices
+  /// (scenario reports echo the same field from the spec).
+  Json ToJsonEcho() const {
+    Json echo = Json::Object();
+    echo.Set("runs", Json::Number(static_cast<double>(runs)));
+    echo.Set("rc", Json::Number(rc));
+    echo.Set("fraction", Json::Number(fraction));
+    echo.Set("path_sources",
+             Json::Number(static_cast<double>(path_sources)));
+    echo.Set("dataset_scale", Json::Number(EnvOr("SGR_DATASET_SCALE", 1.0)));
+    return echo;
+  }
 };
 
 /// Runs `runs` experiment repetitions on `dataset` (concurrently on up to
 /// `threads` workers) and accumulates per-method distance and timing
-/// statistics. Seeds are derived from `seed_base` so every binary is
-/// reproducible. The *distance* aggregates are identical for every thread
-/// count; the *timing* fields are wall-clock measured inside each trial,
-/// so concurrent trials contending for cores inflate them — benches whose
-/// point is the timing (Table IV/V, the RC ablation) should be read with
-/// `--threads 1`, or treat only the ratios as meaningful.
-inline std::map<MethodKind, MethodAggregate> RunDataset(
-    const Graph& dataset, const GraphProperties& properties,
-    const ExperimentConfig& experiment, std::size_t runs,
-    std::uint64_t seed_base, std::size_t threads = 1) {
-  std::map<MethodKind, MethodAggregate> aggregate;
-  const auto trials =
-      RunExperiments(dataset, properties, experiment, seed_base, runs,
-                     threads);
-  for (const auto& results : trials) {
-    for (const MethodRunResult& r : results) {
-      MethodAggregate& agg = aggregate[r.kind];
-      agg.distances.Add(r.distances);
-      agg.total_seconds += r.restoration.total_seconds;
-      agg.rewiring_seconds += r.restoration.rewiring_seconds;
-    }
+/// statistics, as one scenario-engine cell. This is the same code path
+/// `sgr run` executes (scenario/engine.h), so a bench's --json report and
+/// a scenario report share one schema and one aggregation (the numbers
+/// themselves match only where the seed bases line up — benches reuse one
+/// base per table, the engine derives a distinct base per cell). The *distance*
+/// aggregates are identical for every thread count; the *timing* fields
+/// are wall-clock measured inside each trial, so concurrent trials
+/// contending for cores inflate them — benches whose point is the timing
+/// (Table IV/V, the RC ablation) should be read with `--threads 1`, or
+/// treat only the ratios as meaningful.
+inline ScenarioCell RunDataset(const DatasetSpec& spec,
+                               const Graph& dataset,
+                               const GraphProperties& properties,
+                               const ExperimentConfig& experiment,
+                               std::size_t runs, std::uint64_t seed_base,
+                               std::size_t threads = 1) {
+  return RunScenarioCell(spec.name, dataset, properties, experiment, runs,
+                         seed_base, threads);
+}
+
+/// Collects report cells across a bench run and writes the JSON report if
+/// `--json PATH` was given. The report document (tool name, config echo,
+/// environment capture, cells) is assembled by scenario/report.h — the
+/// same writer the scenario engine uses.
+class BenchJsonReport {
+ public:
+  BenchJsonReport(std::string tool, const BenchConfig& config)
+      : tool_(std::move(tool)),
+        config_echo_(config.ToJsonEcho()),
+        path_(config.json_path),
+        threads_(ResolveThreadCount(config.threads)),
+        cells_(Json::Array()) {}
+
+  /// Adds a standard scenario cell (the table benches).
+  void Add(const ScenarioCell& cell) { cells_.Push(ScenarioCellToJson(cell)); }
+
+  /// Adds a custom cell (the ablation benches). By convention volatile
+  /// wall-clock values go under a "timings" member so StripVolatile works
+  /// on ablation reports too.
+  void Add(Json cell) { cells_.Push(std::move(cell)); }
+
+  /// Writes the report when --json was requested; prints the path.
+  void WriteIfRequested() const {
+    if (path_.empty()) return;
+    WriteJsonFile(MakeReport(tool_, config_echo_, cells_,
+                             CaptureEnvironment(threads_)),
+                  path_);
+    std::cout << "\nwrote JSON report: " << path_ << "\n";
   }
-  for (auto& [kind, agg] : aggregate) {
-    (void)kind;
-    agg.total_seconds /= static_cast<double>(runs);
-    agg.rewiring_seconds /= static_cast<double>(runs);
-  }
-  return aggregate;
+
+ private:
+  std::string tool_;
+  Json config_echo_;
+  std::string path_;
+  std::size_t threads_;
+  Json cells_;
+};
+
+/// Starts an ablation report cell: the dataset label plus the
+/// materialized graph's size, so custom cells are attributable to their
+/// inputs the same way scenario cells are. Callers add their "metrics"
+/// (and optional "timings") members.
+inline Json CustomCell(const DatasetSpec& spec, const Graph& dataset) {
+  Json cell = Json::Object();
+  cell.Set("dataset", Json::String(spec.name));
+  cell.Set("nodes", Json::Number(static_cast<double>(dataset.NumNodes())));
+  cell.Set("edges", Json::Number(static_cast<double>(dataset.NumEdges())));
+  return cell;
 }
 
 /// Prints the standard bench banner with the dataset's actual size next to

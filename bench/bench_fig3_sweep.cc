@@ -10,7 +10,9 @@
 //
 // Env knobs: SGR_RUNS (default 3), SGR_RC (default 100 here; 500 matches
 // the paper but multiplies runtime), SGR_PATH_SOURCES, SGR_DATASET_SCALE,
-// SGR_FRACTION_STEPS (number of sweep points, default 5).
+// SGR_FRACTION_STEPS (number of sweep points, default 5). `--json PATH`
+// records the run as a structured report (same schema as
+// `sgr run fig3-sweep`, one cell per dataset x fraction).
 
 #include "bench_common.h"
 
@@ -34,6 +36,7 @@ int main(int argc, char** argv) {
             << ", threads = " << ResolveThreadCount(config.threads)
             << "\n\n";
 
+  BenchJsonReport report("bench_fig3_sweep", config);
   for (const char* name : {"anybeat", "brightkite", "epinions"}) {
     const DatasetSpec spec = DatasetByName(name);
     const Graph dataset = LoadDataset(spec);
@@ -48,11 +51,12 @@ int main(int argc, char** argv) {
                         "Gjoka et al.", "Proposed"});
     for (double fraction : fractions) {
       experiment.query_fraction = fraction;
-      const auto aggregate =
-          RunDataset(dataset, properties, experiment, config.runs,
+      const ScenarioCell cell =
+          RunDataset(spec, dataset, properties, experiment, config.runs,
                      0xF16'3000 + static_cast<std::uint64_t>(
                                       fraction * 1000.0),
                      config.threads);
+      report.Add(cell);
       std::vector<std::string> row = {
           TablePrinter::Fixed(100.0 * fraction, 0)};
       for (MethodKind kind :
@@ -60,7 +64,7 @@ int main(int argc, char** argv) {
             MethodKind::kRandomWalk, MethodKind::kGjoka,
             MethodKind::kProposed}) {
         row.push_back(TablePrinter::Fixed(
-            aggregate.at(kind).distances.Summarize().mean_average));
+            cell.methods.at(kind).distances.Summarize().mean_average));
       }
       table.AddRow(std::move(row));
     }
@@ -69,5 +73,6 @@ int main(int argc, char** argv) {
   }
   std::cout << "expected shape (paper Fig. 3): Proposed lowest at every "
                "fraction; all methods improve as the budget grows.\n";
+  report.WriteIfRequested();
   return 0;
 }

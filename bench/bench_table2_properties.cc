@@ -9,6 +9,8 @@
 //
 // Env knobs: SGR_RUNS (default 3), SGR_RC (default 100; paper uses 500),
 // SGR_FRACTION (default 0.10), SGR_PATH_SOURCES, SGR_DATASET_SCALE.
+// `--json PATH` records the run as a structured report (same schema as
+// `sgr run table2`).
 
 #include "bench_common.h"
 
@@ -23,6 +25,7 @@ int main(int argc, char** argv) {
             << "runs: " << config.runs << ", RC = " << config.rc
             << ", threads = " << ResolveThreadCount(config.threads) << "\n\n";
 
+  BenchJsonReport report("bench_table2_properties", config);
   for (const char* name : {"slashdot", "gowalla", "livemocha"}) {
     const DatasetSpec spec = DatasetByName(name);
     const Graph dataset = LoadDataset(spec);
@@ -31,8 +34,10 @@ int main(int argc, char** argv) {
     const ExperimentConfig experiment = config.ToExperimentConfig();
     const GraphProperties properties =
         ComputeProperties(dataset, experiment.property_options);
-    const auto aggregate = RunDataset(dataset, properties, experiment,
-                                      config.runs, 0x7AB'2000, config.threads);
+    const ScenarioCell cell =
+        RunDataset(spec, dataset, properties, experiment, config.runs,
+                   0x7AB'2000, config.threads);
+    report.Add(cell);
 
     std::vector<std::string> headers = {"Method"};
     for (const auto& prop : PropertyNames()) headers.push_back(prop);
@@ -42,7 +47,7 @@ int main(int argc, char** argv) {
           MethodKind::kRandomWalk, MethodKind::kGjoka,
           MethodKind::kProposed}) {
       const DistanceSummary summary =
-          aggregate.at(kind).distances.Summarize();
+          cell.methods.at(kind).distances.Summarize();
       std::vector<std::string> row = {MethodName(kind)};
       for (double d : summary.mean_per_property) {
         row.push_back(TablePrinter::Fixed(d));
@@ -55,5 +60,6 @@ int main(int argc, char** argv) {
   std::cout
       << "expected shape (paper Table II): Proposed/Gjoka fix n, k_avg, "
          "P(k); Proposed additionally fixes knn(k), c(k), P(s), b(k).\n";
+  report.WriteIfRequested();
   return 0;
 }

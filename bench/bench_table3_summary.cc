@@ -9,7 +9,8 @@
 // dataset.
 //
 // Env knobs: SGR_RUNS (default 3), SGR_RC (default 100), SGR_FRACTION,
-// SGR_PATH_SOURCES, SGR_DATASET_SCALE.
+// SGR_PATH_SOURCES, SGR_DATASET_SCALE. `--json PATH` records the run as a
+// structured report (same schema as `sgr run table3`).
 
 #include "bench_common.h"
 
@@ -24,6 +25,7 @@ int main(int argc, char** argv) {
             << "runs: " << config.runs << ", RC = " << config.rc
             << ", threads = " << ResolveThreadCount(config.threads) << "\n\n";
 
+  BenchJsonReport report("bench_table3_summary", config);
   TablePrinter table(std::cout, {"Dataset", "BFS", "Snowball", "FF", "RW",
                                  "Gjoka et al.", "Proposed"});
   for (const DatasetSpec& spec : StandardDatasets()) {
@@ -32,20 +34,23 @@ int main(int argc, char** argv) {
     const ExperimentConfig experiment = config.ToExperimentConfig();
     const GraphProperties properties =
         ComputeProperties(dataset, experiment.property_options);
-    const auto aggregate = RunDataset(dataset, properties, experiment,
-                                      config.runs, 0x7AB'3000, config.threads);
+    const ScenarioCell cell =
+        RunDataset(spec, dataset, properties, experiment, config.runs,
+                   0x7AB'3000, config.threads);
     std::vector<std::string> row = {spec.name};
     for (MethodKind kind :
          {MethodKind::kBfs, MethodKind::kSnowball, MethodKind::kForestFire,
           MethodKind::kRandomWalk, MethodKind::kGjoka,
           MethodKind::kProposed}) {
-      const DistanceSummary s = aggregate.at(kind).distances.Summarize();
+      const DistanceSummary s = cell.methods.at(kind).distances.Summarize();
       row.push_back(TablePrinter::PlusMinus(s.mean_average, s.mean_sd));
     }
     table.AddRow(std::move(row));
+    report.Add(cell);
   }
   std::cout << "\n";
   table.Print();
+  report.WriteIfRequested();
   std::cout << "\nexpected shape (paper Table III): the Proposed column has "
                "the lowest average on every dataset.\n";
   return 0;

@@ -11,7 +11,8 @@
 //
 // Env knobs: SGR_RUNS (default 2), SGR_RC (default 500 — the paper's
 // setting, because the timing ratio is the point of this table),
-// SGR_FRACTION, SGR_DATASET_SCALE.
+// SGR_FRACTION, SGR_DATASET_SCALE. `--json PATH` records the run as a
+// structured report (same schema as `sgr run table4-time`).
 
 #include "bench_common.h"
 
@@ -28,6 +29,7 @@ int main(int argc, char** argv) {
             << "runs: " << config.runs << ", RC = " << config.rc
             << ", threads = " << ResolveThreadCount(config.threads) << "\n\n";
 
+  BenchJsonReport report("bench_table4_time", config);
   TablePrinter table(
       std::cout,
       {"Dataset", "BFS", "Snowball", "FF", "RW", "Gjoka total",
@@ -41,19 +43,22 @@ int main(int argc, char** argv) {
     experiment.property_options.max_path_sources = config.path_sources;
     const GraphProperties properties =
         ComputeProperties(dataset, experiment.property_options);
-    const auto aggregate = RunDataset(dataset, properties, experiment,
-                                      config.runs, 0x7AB'4000, config.threads);
-    const MethodAggregate& gjoka = aggregate.at(MethodKind::kGjoka);
-    const MethodAggregate& proposed = aggregate.at(MethodKind::kProposed);
+    const ScenarioCell cell =
+        RunDataset(spec, dataset, properties, experiment, config.runs,
+                   0x7AB'4000, config.threads);
+    report.Add(cell);
+    const MethodAggregate& gjoka = cell.methods.at(MethodKind::kGjoka);
+    const MethodAggregate& proposed = cell.methods.at(MethodKind::kProposed);
     table.AddRow({
         spec.name,
-        TablePrinter::Fixed(aggregate.at(MethodKind::kBfs).total_seconds, 4),
+        TablePrinter::Fixed(cell.methods.at(MethodKind::kBfs).total_seconds,
+                            4),
         TablePrinter::Fixed(
-            aggregate.at(MethodKind::kSnowball).total_seconds, 4),
+            cell.methods.at(MethodKind::kSnowball).total_seconds, 4),
         TablePrinter::Fixed(
-            aggregate.at(MethodKind::kForestFire).total_seconds, 4),
+            cell.methods.at(MethodKind::kForestFire).total_seconds, 4),
         TablePrinter::Fixed(
-            aggregate.at(MethodKind::kRandomWalk).total_seconds, 4),
+            cell.methods.at(MethodKind::kRandomWalk).total_seconds, 4),
         TablePrinter::Fixed(gjoka.total_seconds, 2),
         TablePrinter::Fixed(gjoka.rewiring_seconds, 2),
         TablePrinter::Fixed(proposed.total_seconds, 2),
@@ -68,5 +73,6 @@ int main(int argc, char** argv) {
   std::cout << "\nexpected shape (paper Table IV): subgraph sampling in "
                "milliseconds; Proposed several times faster than Gjoka et "
                "al., driven by the rewiring column.\n";
+  report.WriteIfRequested();
   return 0;
 }

@@ -11,7 +11,8 @@
 // Env knobs: SGR_RUNS (default 2; paper uses 5), SGR_RC (default 50 — the
 // graph is larger), SGR_FRACTION (default 0.01), SGR_PATH_SOURCES
 // (default 300: sampled evaluation, applied identically to original and
-// generated graphs), SGR_DATASET_SCALE.
+// generated graphs), SGR_DATASET_SCALE. `--json PATH` records the run as
+// a structured report (same schema as `sgr run table5-youtube`).
 
 #include "bench_common.h"
 
@@ -34,8 +35,11 @@ int main(int argc, char** argv) {
   const ExperimentConfig experiment = config.ToExperimentConfig();
   const GraphProperties properties =
       ComputeProperties(dataset, experiment.property_options);
-  const auto aggregate = RunDataset(dataset, properties, experiment,
-                                    config.runs, 0x7AB'5000, config.threads);
+  BenchJsonReport report("bench_table5_youtube", config);
+  const ScenarioCell cell =
+      RunDataset(spec, dataset, properties, experiment, config.runs,
+                 0x7AB'5000, config.threads);
+  report.Add(cell);
 
   std::vector<std::string> headers = {"Method"};
   for (const auto& prop : PropertyNames()) headers.push_back(prop);
@@ -46,7 +50,7 @@ int main(int argc, char** argv) {
        {MethodKind::kBfs, MethodKind::kSnowball, MethodKind::kForestFire,
         MethodKind::kRandomWalk, MethodKind::kGjoka,
         MethodKind::kProposed}) {
-    const MethodAggregate& agg = aggregate.at(kind);
+    const MethodAggregate& agg = cell.methods.at(kind);
     const DistanceSummary s = agg.distances.Summarize();
     std::vector<std::string> row = {MethodName(kind)};
     for (double d : s.mean_per_property) {
@@ -60,5 +64,6 @@ int main(int argc, char** argv) {
   std::cout << "\nexpected shape (paper Table V): Proposed lowest AVG; "
                "subgraph-sampling methods misestimate n by >60%; Proposed "
                "generation faster than Gjoka et al.\n";
+  report.WriteIfRequested();
   return 0;
 }

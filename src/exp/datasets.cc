@@ -44,7 +44,7 @@ DatasetSpec DatasetByName(const std::string& name) {
   throw std::out_of_range("unknown dataset: " + name);
 }
 
-Graph LoadDataset(const DatasetSpec& spec) {
+Graph LoadDataset(const DatasetSpec& spec, double scale_override) {
   if (const char* dir = std::getenv("SGR_DATASET_DIR")) {
     const std::filesystem::path path =
         std::filesystem::path(dir) / (spec.name + ".txt");
@@ -52,10 +52,13 @@ Graph LoadDataset(const DatasetSpec& spec) {
       return PreprocessDataset(ReadEdgeListFile(path.string()));
     }
   }
-  double scale = 1.0;
-  if (const char* env = std::getenv("SGR_DATASET_SCALE")) {
-    scale = std::strtod(env, nullptr);
-    if (scale <= 0.0) scale = 1.0;
+  double scale = scale_override;
+  if (scale <= 0.0) {
+    scale = 1.0;
+    if (const char* env = std::getenv("SGR_DATASET_SCALE")) {
+      scale = std::strtod(env, nullptr);
+      if (scale <= 0.0) scale = 1.0;
+    }
   }
   const auto n = static_cast<std::size_t>(
       static_cast<double>(spec.num_nodes) * scale);

@@ -43,8 +43,11 @@ DatasetSpec DatasetByName(const std::string& name);
 /// way the result is preprocessed (simplified + largest connected
 /// component). The environment variable SGR_DATASET_SCALE (default 1.0)
 /// multiplies the synthetic node count, letting users run closer to paper
-/// scale on bigger machines.
-Graph LoadDataset(const DatasetSpec& spec);
+/// scale on bigger machines. A nonzero `scale_override` takes precedence
+/// over the environment — the scenario engine uses it so a scenario.json
+/// with an explicit `dataset_scale` is reproducible regardless of the
+/// caller's environment.
+Graph LoadDataset(const DatasetSpec& spec, double scale_override = 0.0);
 
 }  // namespace sgr
 

@@ -1,0 +1,105 @@
+#include "scenario/engine.h"
+
+#include <ostream>
+
+#include "exp/datasets.h"
+#include "exp/parallel.h"
+#include "util/timer.h"
+
+namespace sgr {
+
+namespace {
+
+Graph Materialize(const ScenarioDataset& dataset, double dataset_scale) {
+  if (dataset.generator) return BuildGeneratorGraph(*dataset.generator);
+  return LoadDataset(DatasetByName(dataset.name), dataset_scale);
+}
+
+}  // namespace
+
+ScenarioCell RunScenarioCell(const std::string& dataset_name,
+                             const Graph& dataset,
+                             const GraphProperties& properties,
+                             const ExperimentConfig& config,
+                             std::size_t trials, std::uint64_t seed_base,
+                             std::size_t threads) {
+  ScenarioCell cell;
+  cell.dataset = dataset_name;
+  cell.nodes = dataset.NumNodes();
+  cell.edges = dataset.NumEdges();
+  cell.query_fraction = config.query_fraction;
+  cell.seed_base = seed_base;
+  cell.trials = trials;
+
+  Timer timer;
+  const auto all_trials =
+      RunExperiments(dataset, properties, config, seed_base, trials,
+                     threads);
+  cell.wall_seconds = timer.Seconds();
+
+  // Trials come back indexed by trial number, so this reduction order —
+  // and therefore every accumulated double — is thread-count independent.
+  for (const auto& results : all_trials) {
+    for (const MethodRunResult& r : results) {
+      MethodAggregate& aggregate = cell.methods[r.kind];
+      aggregate.distances.Add(r.distances);
+      aggregate.total_seconds += r.restoration.total_seconds;
+      aggregate.rewiring_seconds += r.restoration.rewiring_seconds;
+    }
+  }
+  for (auto& [kind, aggregate] : cell.methods) {
+    (void)kind;
+    aggregate.total_seconds /= static_cast<double>(trials);
+    aggregate.rewiring_seconds /= static_cast<double>(trials);
+  }
+  return cell;
+}
+
+ScenarioRunResult RunScenario(const ScenarioSpec& spec,
+                              std::size_t threads_override,
+                              std::ostream* progress) {
+  ScenarioRunResult result;
+  result.spec = spec;
+  result.threads = ResolveThreadCount(
+      threads_override == kThreadsFromSpec ? spec.threads
+                                           : threads_override);
+
+  std::size_t cell_index = 0;
+  for (const ScenarioDataset& dataset_spec : spec.datasets) {
+    const Graph dataset = Materialize(dataset_spec, spec.dataset_scale);
+    // Properties of the original depend on the dataset and the evaluation
+    // options only — compute once, share across the fraction sweep.
+    const GraphProperties properties = ComputeProperties(
+        dataset, spec.ToExperimentConfig(spec.fractions.front())
+                     .property_options);
+    for (double fraction : spec.fractions) {
+      const std::uint64_t cell_seed =
+          spec.seed_base +
+          static_cast<std::uint64_t>(cell_index) * spec.trials;
+      ScenarioCell cell = RunScenarioCell(
+          dataset_spec.name, dataset, properties,
+          spec.ToExperimentConfig(fraction), spec.trials, cell_seed,
+          result.threads);
+      if (progress != nullptr) {
+        *progress << "cell " << cell.dataset << " @ " << 100.0 * fraction
+                  << "% queried: n = " << cell.nodes << ", m = "
+                  << cell.edges << ", " << spec.trials << " trials in "
+                  << cell.wall_seconds << " s\n";
+      }
+      result.cells.push_back(std::move(cell));
+      ++cell_index;
+    }
+  }
+  return result;
+}
+
+Json ScenarioReportToJson(const ScenarioRunResult& result) {
+  Json cells = Json::Array();
+  for (const ScenarioCell& cell : result.cells) {
+    cells.Push(ScenarioCellToJson(cell));
+  }
+  return MakeReport("sgr run", result.spec.ToJson(), std::move(cells),
+                    CaptureEnvironment(result.threads));
+}
+
+}  // namespace sgr

@@ -1,0 +1,78 @@
+#ifndef SGR_SCENARIO_ENGINE_H_
+#define SGR_SCENARIO_ENGINE_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "exp/runner.h"
+#include "scenario/report.h"
+#include "scenario/spec.h"
+
+namespace sgr {
+
+/// Sentinel for RunScenario's `threads_override`: use the spec's own
+/// thread count.
+inline constexpr std::size_t kThreadsFromSpec =
+    static_cast<std::size_t>(-1);
+
+/// Runs one cell of a scenario matrix — `trials` Monte Carlo repetitions
+/// of `config` on `dataset` over up to `threads` workers — and aggregates
+/// per-method distance and timing statistics. Trial i is seeded with
+/// `seed_base + i` (the convention every bench has always used), so the
+/// distance aggregates are identical for every thread count; the timing
+/// fields are wall-clock measured inside the trials and inflate under
+/// core contention — read them at --threads 1, or trust the ratios.
+///
+/// This is the single trial-matrix implementation behind both the
+/// scenario engine and the benches (bench_common.h delegates here), so a
+/// bench's --json output and an `sgr run` report share one schema and one
+/// aggregation path. Note the benches keep their historical per-table
+/// seed schedules (one fixed seed base for every dataset), while the
+/// engine gives each cell a distinct base — so the two agree numerically
+/// only where the seed bases happen to line up, by design.
+ScenarioCell RunScenarioCell(const std::string& dataset_name,
+                             const Graph& dataset,
+                             const GraphProperties& properties,
+                             const ExperimentConfig& config,
+                             std::size_t trials, std::uint64_t seed_base,
+                             std::size_t threads);
+
+/// Result of running a whole scenario: the spec as executed, the resolved
+/// worker thread count, and one cell per (dataset, fraction) pair in
+/// spec order.
+struct ScenarioRunResult {
+  ScenarioSpec spec;
+  std::size_t threads = 1;
+  std::vector<ScenarioCell> cells;
+};
+
+/// Expands `spec` into its {dataset x fraction} matrix and executes every
+/// cell through RunExperiments over a shared immutable CsrGraph snapshot
+/// per dataset. Registry datasets load through LoadDataset (honoring
+/// $SGR_DATASET_DIR; `spec.dataset_scale` overrides $SGR_DATASET_SCALE
+/// when nonzero); generator datasets are built from their GeneratorSpec,
+/// so a spec can be fully hermetic. Properties of each original dataset
+/// are computed once and shared by all of its fractions.
+///
+/// Cell seeds are `spec.seed_base + cell_index * spec.trials` with
+/// `cell_index` enumerating datasets-major / fractions-minor, so every
+/// trial in the matrix has a distinct, thread-independent seed.
+///
+/// `threads_override` replaces spec.threads when not kThreadsFromSpec
+/// (the CLI's --threads / $SGR_THREADS plumbing); 0 means hardware
+/// concurrency either way. `progress`, when non-null, receives one line
+/// per completed cell.
+ScenarioRunResult RunScenario(const ScenarioSpec& spec,
+                              std::size_t threads_override = kThreadsFromSpec,
+                              std::ostream* progress = nullptr);
+
+/// Serializes a scenario run as the standard report document
+/// (scenario/report.h): the spec echoed under "config", the environment,
+/// and one cell object per matrix cell. StripVolatile of this document is
+/// byte-identical across thread counts.
+Json ScenarioReportToJson(const ScenarioRunResult& result);
+
+}  // namespace sgr
+
+#endif  // SGR_SCENARIO_ENGINE_H_

@@ -1,0 +1,129 @@
+#include "scenario/report.h"
+
+#include <fstream>
+#include <thread>
+
+#include "analysis/l1.h"
+
+namespace sgr {
+
+RunEnvironment CaptureEnvironment(std::size_t threads) {
+  RunEnvironment environment;
+  environment.threads = threads;
+  environment.hardware_concurrency = std::thread::hardware_concurrency();
+#if defined(__VERSION__)
+  environment.compiler = __VERSION__;
+#endif
+#if defined(NDEBUG)
+  environment.build = "Release";
+#else
+  environment.build = "Debug";
+#endif
+  return environment;
+}
+
+Json EnvironmentToJson(const RunEnvironment& environment) {
+  Json json = Json::Object();
+  json.Set("threads",
+           Json::Number(static_cast<double>(environment.threads)));
+  json.Set("hardware_concurrency",
+           Json::Number(
+               static_cast<double>(environment.hardware_concurrency)));
+  json.Set("compiler", Json::String(environment.compiler));
+  json.Set("build", Json::String(environment.build));
+  return json;
+}
+
+Json ScenarioCellToJson(const ScenarioCell& cell) {
+  Json json = Json::Object();
+  json.Set("dataset", Json::String(cell.dataset));
+  json.Set("nodes", Json::Number(static_cast<double>(cell.nodes)));
+  json.Set("edges", Json::Number(static_cast<double>(cell.edges)));
+  json.Set("query_fraction", Json::Number(cell.query_fraction));
+  json.Set("seed_base", Json::Number(static_cast<double>(cell.seed_base)));
+  json.Set("trials", Json::Number(static_cast<double>(cell.trials)));
+
+  Json methods = Json::Array();
+  for (const auto& [kind, aggregate] : cell.methods) {
+    const DistanceSummary summary = aggregate.distances.Summarize();
+    Json entry = Json::Object();
+    entry.Set("method", Json::String(MethodName(kind)));
+    Json per_property = Json::Object();
+    for (std::size_t i = 0; i < kNumProperties; ++i) {
+      per_property.Set(PropertyNames()[i],
+                       Json::Number(summary.mean_per_property[i]));
+    }
+    Json distances = Json::Object();
+    distances.Set("per_property", std::move(per_property));
+    distances.Set("average", Json::Number(summary.mean_average));
+    distances.Set("sd", Json::Number(summary.mean_sd));
+    entry.Set("distances", std::move(distances));
+    Json timings = Json::Object();
+    timings.Set("restore_seconds", Json::Number(aggregate.total_seconds));
+    timings.Set("rewiring_seconds",
+                Json::Number(aggregate.rewiring_seconds));
+    entry.Set("timings", std::move(timings));
+    methods.Push(std::move(entry));
+  }
+  json.Set("methods", std::move(methods));
+
+  Json timings = Json::Object();
+  timings.Set("wall_seconds", Json::Number(cell.wall_seconds));
+  json.Set("timings", std::move(timings));
+  return json;
+}
+
+Json MakeReport(const std::string& tool, Json config_echo, Json cells,
+                const RunEnvironment& environment) {
+  Json report = Json::Object();
+  report.Set("schema", Json::String("sgr-report/1"));
+  report.Set("tool", Json::String(tool));
+  report.Set("config", std::move(config_echo));
+  report.Set("environment", EnvironmentToJson(environment));
+  report.Set("cells", std::move(cells));
+  return report;
+}
+
+namespace {
+
+Json StripVolatileImpl(const Json& value, bool top_level) {
+  switch (value.kind()) {
+    case Json::Kind::kObject: {
+      Json out = Json::Object();
+      for (const auto& [key, member] : value.ObjectMembers()) {
+        if (key == "timings") continue;
+        if (top_level && key == "environment") continue;
+        out.Set(key, StripVolatileImpl(member, /*top_level=*/false));
+      }
+      return out;
+    }
+    case Json::Kind::kArray: {
+      Json out = Json::Array();
+      for (const Json& item : value.Items()) {
+        out.Push(StripVolatileImpl(item, /*top_level=*/false));
+      }
+      return out;
+    }
+    default:
+      return value;
+  }
+}
+
+}  // namespace
+
+Json StripVolatile(const Json& document) {
+  return StripVolatileImpl(document, /*top_level=*/true);
+}
+
+void WriteJsonFile(const Json& document, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open '" + path + "' for writing");
+  }
+  out << document.Dump(2) << "\n";
+  if (!out) {
+    throw std::runtime_error("failed writing '" + path + "'");
+  }
+}
+
+}  // namespace sgr

@@ -1,0 +1,89 @@
+#ifndef SGR_SCENARIO_REPORT_H_
+#define SGR_SCENARIO_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "analysis/summary.h"
+#include "restore/method.h"
+#include "util/json.h"
+
+namespace sgr {
+
+/// Aggregate of one (dataset, fraction, method) cell across trials:
+/// distance statistics plus mean generation timings. Shared by the
+/// scenario engine and the benches (bench_common.h used to own this
+/// type; it moved here so both report identically).
+struct MethodAggregate {
+  DistanceAccumulator distances;
+  double total_seconds = 0.0;     ///< mean restoration seconds per trial
+  double rewiring_seconds = 0.0;  ///< mean rewiring seconds per trial
+};
+
+/// One cell of a scenario matrix: a dataset at one query fraction, with
+/// the per-method aggregates over the cell's trials. `methods` is keyed
+/// by MethodKind, so iteration (and the JSON emission) follows the
+/// paper's column order.
+struct ScenarioCell {
+  std::string dataset;
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  double query_fraction = 0.0;
+  std::uint64_t seed_base = 0;
+  std::size_t trials = 0;
+  double wall_seconds = 0.0;  ///< whole trial matrix of this cell
+  std::map<MethodKind, MethodAggregate> methods;
+};
+
+/// Execution environment recorded in every report. Everything here is
+/// volatile across machines and thread counts, which is why the whole
+/// block lives under the report's "environment" key and is removed by
+/// StripVolatile together with the "timings" objects.
+struct RunEnvironment {
+  std::size_t threads = 1;               ///< resolved worker thread count
+  std::size_t hardware_concurrency = 0;
+  std::string compiler;                  ///< __VERSION__
+  std::string build;                     ///< "Release" / "Debug" (NDEBUG)
+};
+
+/// Captures the current process environment; `threads` is the resolved
+/// worker count the caller is about to run with.
+RunEnvironment CaptureEnvironment(std::size_t threads);
+
+Json EnvironmentToJson(const RunEnvironment& environment);
+
+/// Emits one cell:
+///   {"dataset": ..., "nodes": ..., "edges": ..., "query_fraction": ...,
+///    "seed_base": ..., "trials": ...,
+///    "methods": [{"method": "Proposed",
+///                 "distances": {"per_property": {"n": ..., ...12...},
+///                               "average": ..., "sd": ...},
+///                 "timings": {"restore_seconds": ...,
+///                             "rewiring_seconds": ...}}, ...],
+///    "timings": {"wall_seconds": ...}}
+/// All timing data sits under "timings" keys so StripVolatile can remove
+/// it mechanically.
+Json ScenarioCellToJson(const ScenarioCell& cell);
+
+/// Assembles the top-level report document shared by `sgr run` and the
+/// benches' --json flag:
+///   {"schema": "sgr-report/1", "tool": ..., "config": <echo>,
+///    "environment": {...}, "cells": [...]}
+Json MakeReport(const std::string& tool, Json config_echo, Json cells,
+                const RunEnvironment& environment);
+
+/// Returns a copy of `document` with the volatile content removed: the
+/// top-level "environment" object and every "timings" member anywhere in
+/// the tree. What remains is a pure function of (spec, seed), so two runs
+/// of the same scenario — at any thread count — dump to identical bytes.
+/// This is the engine's determinism contract, and what the tests diff.
+Json StripVolatile(const Json& document);
+
+/// Writes `Dump(2)` plus a trailing newline to `path`; throws
+/// std::runtime_error if the file cannot be written.
+void WriteJsonFile(const Json& document, const std::string& path);
+
+}  // namespace sgr
+
+#endif  // SGR_SCENARIO_REPORT_H_

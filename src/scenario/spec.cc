@@ -1,0 +1,468 @@
+#include "scenario/spec.h"
+
+#include <cmath>
+#include <set>
+
+#include "exp/datasets.h"
+#include "graph/components.h"
+#include "graph/generators.h"
+#include "util/rng.h"
+
+namespace sgr {
+
+namespace {
+
+/// Typed field extraction. Every helper names the key in its error so a
+/// malformed scenario.json is diagnosable from the message alone.
+
+double RequireNumber(const Json& value, const std::string& key) {
+  if (!value.IsNumber()) {
+    throw ScenarioError("'" + key + "' must be a number");
+  }
+  const double number = value.AsNumber();
+  if (!std::isfinite(number)) {
+    throw ScenarioError("'" + key + "' must be finite");
+  }
+  return number;
+}
+
+std::uint64_t RequireUint(const Json& value, const std::string& key) {
+  const double number = RequireNumber(value, key);
+  if (number < 0.0 || number != std::floor(number) || number > 9.0e15) {
+    throw ScenarioError("'" + key + "' must be a non-negative integer");
+  }
+  return static_cast<std::uint64_t>(number);
+}
+
+bool RequireBool(const Json& value, const std::string& key) {
+  if (!value.IsBool()) {
+    throw ScenarioError("'" + key + "' must be a boolean");
+  }
+  return value.AsBool();
+}
+
+std::string RequireString(const Json& value, const std::string& key) {
+  if (!value.IsString()) {
+    throw ScenarioError("'" + key + "' must be a string");
+  }
+  return value.AsString();
+}
+
+const std::vector<Json>& RequireArray(const Json& value,
+                                      const std::string& key) {
+  if (!value.IsArray()) {
+    throw ScenarioError("'" + key + "' must be an array");
+  }
+  return value.Items();
+}
+
+void ValidateRegistryDataset(const std::string& name) {
+  try {
+    (void)DatasetByName(name);
+  } catch (const std::out_of_range&) {
+    throw ScenarioError("unknown dataset '" + name +
+                        "' (anybeat|brightkite|epinions|slashdot|gowalla|"
+                        "livemocha|youtube, or a generator object)");
+  }
+}
+
+GeneratorSpec ParseGenerator(const Json& json) {
+  GeneratorSpec gen;
+  for (const auto& [key, value] : json.ObjectMembers()) {
+    if (key == "name") {
+      continue;  // consumed by the caller as the dataset label
+    } else if (key == "model") {
+      gen.model = RequireString(value, "datasets[].model");
+    } else if (key == "nodes") {
+      gen.nodes = static_cast<std::size_t>(RequireUint(value, "datasets[].nodes"));
+    } else if (key == "edges_per_node") {
+      gen.edges_per_node =
+          static_cast<std::size_t>(RequireUint(value, "datasets[].edges_per_node"));
+    } else if (key == "triad_p") {
+      gen.triad_p = RequireNumber(value, "datasets[].triad_p");
+    } else if (key == "fringe_fraction") {
+      gen.fringe_fraction = RequireNumber(value, "datasets[].fringe_fraction");
+    } else if (key == "edges") {
+      gen.edges = static_cast<std::size_t>(RequireUint(value, "datasets[].edges"));
+    } else if (key == "communities") {
+      gen.communities =
+          static_cast<std::size_t>(RequireUint(value, "datasets[].communities"));
+    } else if (key == "bridges") {
+      gen.bridges = static_cast<std::size_t>(RequireUint(value, "datasets[].bridges"));
+    } else if (key == "seed") {
+      gen.seed = RequireUint(value, "datasets[].seed");
+    } else {
+      throw ScenarioError("unknown generator key '" + key + "'");
+    }
+  }
+  if (gen.model != "powerlaw" && gen.model != "ba" && gen.model != "er" &&
+      gen.model != "community" && gen.model != "social") {
+    throw ScenarioError("unknown generator model '" + gen.model +
+                        "' (powerlaw|ba|er|community|social)");
+  }
+  if (gen.nodes < 10) {
+    throw ScenarioError("'datasets[].nodes' must be >= 10");
+  }
+  if (gen.triad_p < 0.0 || gen.triad_p > 1.0) {
+    throw ScenarioError("'datasets[].triad_p' must be in [0, 1]");
+  }
+  if (gen.fringe_fraction < 0.0 || gen.fringe_fraction >= 1.0) {
+    throw ScenarioError("'datasets[].fringe_fraction' must be in [0, 1)");
+  }
+  return gen;
+}
+
+std::vector<ScenarioDataset> ParseDatasets(const Json& value) {
+  std::vector<ScenarioDataset> datasets;
+  std::set<std::string> seen;
+  for (const Json& entry : RequireArray(value, "datasets")) {
+    ScenarioDataset dataset;
+    if (entry.IsString()) {
+      dataset.name = entry.AsString();
+      ValidateRegistryDataset(dataset.name);
+    } else if (entry.IsObject()) {
+      dataset.name = "generated";
+      if (const Json* label = entry.Find("name")) {
+        dataset.name = RequireString(*label, "datasets[].name");
+      }
+      dataset.generator = ParseGenerator(entry);
+    } else {
+      throw ScenarioError(
+          "'datasets' entries must be registry names or generator objects");
+    }
+    if (!seen.insert(dataset.name).second) {
+      throw ScenarioError("duplicate dataset '" + dataset.name + "'");
+    }
+    datasets.push_back(std::move(dataset));
+  }
+  if (datasets.empty()) {
+    throw ScenarioError("'datasets' must name at least one dataset");
+  }
+  return datasets;
+}
+
+}  // namespace
+
+Graph BuildGeneratorGraph(const GeneratorSpec& gen) {
+  // Enforce the generators' hard preconditions (asserts in
+  // graph/generators.cc, compiled out under NDEBUG) as proper errors, so
+  // a schema-valid but infeasible spec fails cleanly in Release instead
+  // of crashing or hanging.
+  const auto require = [](bool ok, const std::string& message) {
+    if (!ok) throw ScenarioError("generator: " + message);
+  };
+  if (gen.model == "powerlaw" || gen.model == "ba" ||
+      gen.model == "community" || gen.model == "social") {
+    require(gen.edges_per_node >= 1, "'edges_per_node' must be >= 1");
+  }
+  if (gen.model == "powerlaw" || gen.model == "ba") {
+    require(gen.nodes > gen.edges_per_node,
+            "'nodes' must exceed 'edges_per_node'");
+  } else if (gen.model == "er") {
+    const std::size_t edges = gen.edges > 0 ? gen.edges : 4 * gen.nodes;
+    const double max_edges = 0.5 * static_cast<double>(gen.nodes) *
+                             static_cast<double>(gen.nodes - 1);
+    require(static_cast<double>(edges) <= max_edges,
+            "'edges' exceeds the simple-graph maximum n(n-1)/2");
+  } else if (gen.model == "community") {
+    require(gen.communities >= 1, "'communities' must be >= 1");
+    require(gen.communities <= gen.nodes &&
+                gen.nodes / gen.communities > gen.edges_per_node,
+            "community size (nodes / communities) must exceed "
+            "'edges_per_node'");
+  } else if (gen.model == "social") {
+    require(gen.fringe_fraction >= 0.0 && gen.fringe_fraction < 1.0,
+            "'fringe_fraction' must be in [0, 1)");
+    const auto core_nodes = static_cast<std::size_t>(
+        static_cast<double>(gen.nodes) * (1.0 - gen.fringe_fraction));
+    require(core_nodes > gen.edges_per_node,
+            "core size ((1 - fringe_fraction) * nodes) must exceed "
+            "'edges_per_node'");
+  }
+
+  Rng rng(gen.seed);
+  Graph g;
+  if (gen.model == "powerlaw") {
+    g = GeneratePowerlawCluster(gen.nodes, gen.edges_per_node, gen.triad_p,
+                                rng);
+  } else if (gen.model == "ba") {
+    g = GenerateBarabasiAlbert(gen.nodes, gen.edges_per_node, rng);
+  } else if (gen.model == "er") {
+    const std::size_t edges = gen.edges > 0 ? gen.edges : 4 * gen.nodes;
+    g = GenerateErdosRenyiGnm(gen.nodes, edges, rng);
+  } else if (gen.model == "community") {
+    const std::size_t bridges =
+        gen.bridges > 0 ? gen.bridges : gen.nodes / 50 + 1;
+    g = GenerateCommunityGraph(gen.nodes, gen.communities,
+                               gen.edges_per_node, gen.triad_p, bridges,
+                               rng);
+  } else if (gen.model == "social") {
+    g = GenerateSocialGraph(gen.nodes, gen.edges_per_node, gen.triad_p,
+                            gen.fringe_fraction, rng);
+  } else {
+    throw ScenarioError("unknown generator model '" + gen.model +
+                        "' (powerlaw|ba|er|community|social)");
+  }
+  return PreprocessDataset(g);
+}
+
+MethodKind MethodKindFromToken(const std::string& token) {
+  if (token == "bfs") return MethodKind::kBfs;
+  if (token == "snowball") return MethodKind::kSnowball;
+  if (token == "ff") return MethodKind::kForestFire;
+  if (token == "rw") return MethodKind::kRandomWalk;
+  if (token == "gjoka") return MethodKind::kGjoka;
+  if (token == "proposed") return MethodKind::kProposed;
+  throw ScenarioError("unknown method '" + token +
+                      "' (bfs|snowball|ff|rw|gjoka|proposed)");
+}
+
+std::string MethodToken(MethodKind kind) {
+  switch (kind) {
+    case MethodKind::kBfs: return "bfs";
+    case MethodKind::kSnowball: return "snowball";
+    case MethodKind::kForestFire: return "ff";
+    case MethodKind::kRandomWalk: return "rw";
+    case MethodKind::kGjoka: return "gjoka";
+    case MethodKind::kProposed: return "proposed";
+  }
+  return "unknown";
+}
+
+ScenarioSpec ScenarioSpec::FromJson(const Json& json) {
+  if (!json.IsObject()) {
+    throw ScenarioError("scenario document must be a JSON object");
+  }
+  ScenarioSpec spec;
+  bool saw_datasets = false;
+  for (const auto& [key, value] : json.ObjectMembers()) {
+    if (key == "name") {
+      spec.name = RequireString(value, key);
+    } else if (key == "datasets") {
+      spec.datasets = ParseDatasets(value);
+      saw_datasets = true;
+    } else if (key == "fractions") {
+      spec.fractions.clear();
+      for (const Json& f : RequireArray(value, key)) {
+        const double fraction = RequireNumber(f, "fractions[]");
+        if (fraction <= 0.0 || fraction > 1.0) {
+          throw ScenarioError("'fractions' entries must be in (0, 1]");
+        }
+        spec.fractions.push_back(fraction);
+      }
+      if (spec.fractions.empty()) {
+        throw ScenarioError("'fractions' must contain at least one value");
+      }
+    } else if (key == "methods") {
+      spec.methods.clear();
+      std::set<std::string> seen;
+      for (const Json& m : RequireArray(value, key)) {
+        const std::string token = RequireString(m, "methods[]");
+        if (!seen.insert(token).second) {
+          throw ScenarioError("duplicate method '" + token + "'");
+        }
+        spec.methods.push_back(MethodKindFromToken(token));
+      }
+      if (spec.methods.empty()) {
+        throw ScenarioError("'methods' must name at least one method");
+      }
+    } else if (key == "trials") {
+      spec.trials = static_cast<std::size_t>(RequireUint(value, key));
+      if (spec.trials == 0) throw ScenarioError("'trials' must be >= 1");
+    } else if (key == "threads") {
+      spec.threads = static_cast<std::size_t>(RequireUint(value, key));
+    } else if (key == "seed_base") {
+      spec.seed_base = RequireUint(value, key);
+    } else if (key == "rc") {
+      spec.rc = RequireNumber(value, key);
+      if (spec.rc < 0.0) throw ScenarioError("'rc' must be >= 0");
+    } else if (key == "path_sources") {
+      spec.path_sources = static_cast<std::size_t>(RequireUint(value, key));
+    } else if (key == "snowball_k") {
+      spec.snowball_k = static_cast<std::size_t>(RequireUint(value, key));
+      if (spec.snowball_k == 0) {
+        throw ScenarioError("'snowball_k' must be >= 1");
+      }
+    } else if (key == "forest_fire_pf") {
+      spec.forest_fire_pf = RequireNumber(value, key);
+      if (spec.forest_fire_pf <= 0.0 || spec.forest_fire_pf >= 1.0) {
+        throw ScenarioError("'forest_fire_pf' must be in (0, 1)");
+      }
+    } else if (key == "simplify_output") {
+      spec.simplify_output = RequireBool(value, key);
+    } else if (key == "dataset_scale") {
+      spec.dataset_scale = RequireNumber(value, key);
+      if (spec.dataset_scale < 0.0) {
+        throw ScenarioError("'dataset_scale' must be >= 0");
+      }
+    } else {
+      throw ScenarioError("unknown key '" + key + "'");
+    }
+  }
+  if (!saw_datasets) {
+    throw ScenarioError("'datasets' is required");
+  }
+  return spec;
+}
+
+Json ScenarioSpec::ToJson() const {
+  Json json = Json::Object();
+  json.Set("name", Json::String(name));
+  Json dataset_array = Json::Array();
+  for (const ScenarioDataset& dataset : datasets) {
+    if (!dataset.generator) {
+      dataset_array.Push(Json::String(dataset.name));
+      continue;
+    }
+    const GeneratorSpec& gen = *dataset.generator;
+    Json entry = Json::Object();
+    entry.Set("name", Json::String(dataset.name));
+    entry.Set("model", Json::String(gen.model));
+    entry.Set("nodes", Json::Number(static_cast<double>(gen.nodes)));
+    entry.Set("edges_per_node",
+              Json::Number(static_cast<double>(gen.edges_per_node)));
+    entry.Set("triad_p", Json::Number(gen.triad_p));
+    entry.Set("fringe_fraction", Json::Number(gen.fringe_fraction));
+    entry.Set("edges", Json::Number(static_cast<double>(gen.edges)));
+    entry.Set("communities",
+              Json::Number(static_cast<double>(gen.communities)));
+    entry.Set("bridges", Json::Number(static_cast<double>(gen.bridges)));
+    entry.Set("seed", Json::Number(static_cast<double>(gen.seed)));
+    dataset_array.Push(std::move(entry));
+  }
+  json.Set("datasets", std::move(dataset_array));
+  Json fraction_array = Json::Array();
+  for (double fraction : fractions) {
+    fraction_array.Push(Json::Number(fraction));
+  }
+  json.Set("fractions", std::move(fraction_array));
+  Json method_array = Json::Array();
+  for (MethodKind kind : methods) {
+    method_array.Push(Json::String(MethodToken(kind)));
+  }
+  json.Set("methods", std::move(method_array));
+  json.Set("trials", Json::Number(static_cast<double>(trials)));
+  json.Set("threads", Json::Number(static_cast<double>(threads)));
+  json.Set("seed_base", Json::Number(static_cast<double>(seed_base)));
+  json.Set("rc", Json::Number(rc));
+  json.Set("path_sources", Json::Number(static_cast<double>(path_sources)));
+  json.Set("snowball_k", Json::Number(static_cast<double>(snowball_k)));
+  json.Set("forest_fire_pf", Json::Number(forest_fire_pf));
+  json.Set("simplify_output", Json::Bool(simplify_output));
+  json.Set("dataset_scale", Json::Number(dataset_scale));
+  return json;
+}
+
+ExperimentConfig ScenarioSpec::ToExperimentConfig(double fraction) const {
+  ExperimentConfig config;
+  config.query_fraction = fraction;
+  config.methods = methods;
+  config.snowball_k = snowball_k;
+  config.forest_fire_pf = forest_fire_pf;
+  config.restoration.rewire.rewiring_coefficient = rc;
+  config.restoration.simplify_output = simplify_output;
+  config.property_options.max_path_sources = path_sources;
+  // Trial-level parallelism is the engine's scaling axis; per-trial
+  // property evaluation stays single-threaded so the report is
+  // byte-identical for every thread count (FP summation order fixed).
+  config.property_options.threads = 1;
+  return config;
+}
+
+std::vector<std::string> BuiltinScenarioNames() {
+  return {"tables-smoke", "table2",         "table3",
+          "table4-time",  "table5-youtube", "fig3-sweep"};
+}
+
+bool IsBuiltinScenario(const std::string& name) {
+  for (const std::string& builtin : BuiltinScenarioNames()) {
+    if (builtin == name) return true;
+  }
+  return false;
+}
+
+std::string BuiltinScenarioDescription(const std::string& name) {
+  if (name == "tables-smoke") {
+    return "CI-sized smoke matrix: 2 small stand-ins, 2 trials, RC 10 "
+           "(seconds; the recorded BENCH_scenarios.json baseline)";
+  }
+  if (name == "table2") {
+    return "Table II protocol: per-property L1 on Slashdot/Gowalla/"
+           "Livemocha, 10% queried";
+  }
+  if (name == "table3") {
+    return "Table III protocol: avg +- SD of L1 on the six standard "
+           "datasets, 10% queried";
+  }
+  if (name == "table4-time") {
+    return "Table IV protocol: generation times at RC = 500 (read timings "
+           "with --threads 1)";
+  }
+  if (name == "table5-youtube") {
+    return "Table V protocol: the YouTube stand-in at 1% queried";
+  }
+  if (name == "fig3-sweep") {
+    return "Figure 3 protocol: query-fraction sweep 2%-10% on Anybeat/"
+           "Brightkite/Epinions";
+  }
+  throw ScenarioError("unknown built-in scenario '" + name + "'");
+}
+
+ScenarioSpec BuiltinScenario(const std::string& name) {
+  const auto registry = [](std::initializer_list<const char*> names) {
+    std::vector<ScenarioDataset> datasets;
+    for (const char* dataset : names) datasets.push_back({dataset, {}});
+    return datasets;
+  };
+  const std::vector<ScenarioDataset> standard = registry(
+      {"anybeat", "brightkite", "epinions", "slashdot", "gowalla",
+       "livemocha"});
+
+  ScenarioSpec spec;
+  spec.name = name;
+  if (name == "tables-smoke") {
+    spec.datasets = registry({"anybeat", "brightkite"});
+    spec.trials = 2;
+    spec.rc = 10.0;
+    spec.path_sources = 40;
+    spec.dataset_scale = 0.1;
+    spec.seed_base = 0x5A0E;
+  } else if (name == "table2") {
+    spec.datasets = registry({"slashdot", "gowalla", "livemocha"});
+    spec.trials = 3;
+    spec.rc = 100.0;
+    spec.path_sources = 600;
+    spec.seed_base = 0x7AB'2000;
+  } else if (name == "table3") {
+    spec.datasets = standard;
+    spec.trials = 3;
+    spec.rc = 100.0;
+    spec.path_sources = 600;
+    spec.seed_base = 0x7AB'3000;
+  } else if (name == "table4-time") {
+    spec.datasets = standard;
+    spec.trials = 2;
+    spec.rc = 500.0;
+    spec.path_sources = 64;
+    spec.seed_base = 0x7AB'4000;
+  } else if (name == "table5-youtube") {
+    spec.datasets = registry({"youtube"});
+    spec.fractions = {0.01};
+    spec.trials = 2;
+    spec.rc = 50.0;
+    spec.path_sources = 300;
+    spec.seed_base = 0x7AB'5000;
+  } else if (name == "fig3-sweep") {
+    spec.datasets = registry({"anybeat", "brightkite", "epinions"});
+    spec.fractions = {0.02, 0.04, 0.06, 0.08, 0.10};
+    spec.trials = 3;
+    spec.rc = 100.0;
+    spec.path_sources = 600;
+    spec.seed_base = 0xF16'3000;
+  } else {
+    throw ScenarioError("unknown built-in scenario '" + name + "'");
+  }
+  return spec;
+}
+
+}  // namespace sgr

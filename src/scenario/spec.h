@@ -1,0 +1,118 @@
+#ifndef SGR_SCENARIO_SPEC_H_
+#define SGR_SCENARIO_SPEC_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "exp/runner.h"
+#include "restore/method.h"
+#include "util/json.h"
+
+namespace sgr {
+
+/// Error thrown when a scenario document fails validation. Messages name
+/// the offending key so a typo in a hand-written scenario.json is
+/// diagnosable from the CLI error alone.
+class ScenarioError : public std::runtime_error {
+ public:
+  explicit ScenarioError(const std::string& what)
+      : std::runtime_error("scenario: " + what) {}
+};
+
+/// Parameters of an ad-hoc synthetic dataset (the alternative to naming a
+/// registry dataset from exp/datasets.h). Mirrors the `sgr generate`
+/// subcommand's models.
+struct GeneratorSpec {
+  std::string model = "powerlaw";  ///< powerlaw | ba | er | community | social
+  std::size_t nodes = 1000;
+  std::size_t edges_per_node = 4;  ///< powerlaw / ba / community / social
+  double triad_p = 0.4;            ///< powerlaw / community / social
+  double fringe_fraction = 0.4;    ///< social
+  std::size_t edges = 0;           ///< er (0 = 4 * nodes)
+  std::size_t communities = 4;     ///< community
+  std::size_t bridges = 0;         ///< community (0 = nodes / 50 + 1)
+  std::uint64_t seed = 1;
+};
+
+/// Materializes a GeneratorSpec: builds the model's graph (applying the
+/// 0-means-default rules for `edges` and `bridges`) and preprocesses it
+/// (simplify + largest connected component), exactly as LoadDataset does
+/// for registry datasets. The single model-dispatch implementation shared
+/// by the scenario engine and `sgr generate`; throws ScenarioError on an
+/// unknown model.
+Graph BuildGeneratorGraph(const GeneratorSpec& gen);
+
+/// One dataset of a scenario: either a registry name ("anybeat", ...,
+/// "youtube"; see exp/datasets.h) or a labelled generator.
+struct ScenarioDataset {
+  std::string name;
+  std::optional<GeneratorSpec> generator;
+};
+
+/// Declarative description of one crawl -> restore -> evaluate matrix:
+/// {datasets x query fractions x methods} x trials, with the knobs the
+/// hand-rolled benches used to take from the environment. Defaults match
+/// a default-constructed ExperimentConfig (RC = 500, 10% queried, all six
+/// methods, exact path evaluation), so an empty scenario runs the paper's
+/// Table III protocol on whatever datasets it names.
+struct ScenarioSpec {
+  std::string name = "custom";
+  std::vector<ScenarioDataset> datasets;
+  std::vector<double> fractions = {0.1};
+  std::vector<MethodKind> methods = {
+      MethodKind::kBfs,        MethodKind::kSnowball,
+      MethodKind::kForestFire, MethodKind::kRandomWalk,
+      MethodKind::kGjoka,      MethodKind::kProposed};
+  std::size_t trials = 3;
+  std::size_t threads = 1;        ///< 0 = hardware concurrency
+  std::uint64_t seed_base = 0x5EED;
+  double rc = 500.0;              ///< rewiring coefficient (paper: 500)
+  std::size_t path_sources = 0;   ///< 0 = exact all-pairs evaluation
+  std::size_t snowball_k = 50;
+  double forest_fire_pf = 0.7;
+  bool simplify_output = false;
+  double dataset_scale = 0.0;     ///< 0 = honor $SGR_DATASET_SCALE / 1.0
+
+  /// Parses and validates a scenario document. Unknown keys, wrong types,
+  /// out-of-range values, unknown dataset/method names, and empty
+  /// dataset/fraction/method lists all throw ScenarioError.
+  static ScenarioSpec FromJson(const Json& json);
+
+  /// Serializes the spec back to its document form; FromJson(ToJson(s))
+  /// round-trips to an equal document. Embedded verbatim in every report
+  /// so a result file names the matrix that produced it.
+  Json ToJson() const;
+
+  /// The experiment configuration of one cell of the matrix: this spec's
+  /// method list and options with the given query fraction. Per-trial
+  /// property evaluation is pinned to one thread, so reports are
+  /// byte-identical for every engine thread count (the benches'
+  /// long-standing determinism contract).
+  ExperimentConfig ToExperimentConfig(double fraction) const;
+};
+
+/// Maps a scenario document's method token (bfs | snowball | ff | rw |
+/// gjoka | proposed) to its MethodKind; throws ScenarioError on an
+/// unknown token. MethodToken inverts it.
+MethodKind MethodKindFromToken(const std::string& token);
+std::string MethodToken(MethodKind kind);
+
+/// Built-in named scenarios, runnable as `sgr run <name>`:
+///   tables-smoke    2 small dataset stand-ins, CI-sized (seconds)
+///   table2          per-property distances, Slashdot/Gowalla/Livemocha
+///   table3          avg +- SD on the six standard datasets
+///   table4-time     generation-time protocol (RC = 500)
+///   table5-youtube  the largest stand-in at 1% queried
+///   fig3-sweep      query-fraction sweep, 2%-10%
+std::vector<std::string> BuiltinScenarioNames();
+bool IsBuiltinScenario(const std::string& name);
+ScenarioSpec BuiltinScenario(const std::string& name);
+
+/// One-line description of a built-in (for `sgr scenarios list`).
+std::string BuiltinScenarioDescription(const std::string& name);
+
+}  // namespace sgr
+
+#endif  // SGR_SCENARIO_SPEC_H_

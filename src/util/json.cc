@@ -1,0 +1,504 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+namespace sgr {
+
+namespace {
+
+constexpr int kMaxDepth = 256;
+
+/// Recursive-descent parser over the whole input buffer. Tracks the
+/// current offset and converts it to line:column only when building an
+/// error message.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json ParseDocument() {
+    Json value = ParseValue(0);
+    SkipWhitespace();
+    if (pos_ != text_.size()) Fail("trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void Fail(const std::string& message) const {
+    std::size_t line = 1;
+    std::size_t column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    throw JsonError("JSON parse error at " + std::to_string(line) + ":" +
+                    std::to_string(column) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char Peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  bool Consume(const char* literal) {
+    const std::size_t n = std::char_traits<char>::length(literal);
+    if (text_.compare(pos_, n, literal) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Json ParseValue(int depth) {
+    if (depth > kMaxDepth) Fail("nesting deeper than 256 levels");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) Fail("unexpected end of input");
+    switch (Peek()) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"':
+        return Json::String(ParseString());
+      case 't':
+        if (Consume("true")) return Json::Bool(true);
+        Fail("invalid literal (expected 'true')");
+      case 'f':
+        if (Consume("false")) return Json::Bool(false);
+        Fail("invalid literal (expected 'false')");
+      case 'n':
+        if (Consume("null")) return Json::Null();
+        Fail("invalid literal (expected 'null')");
+      case 'I':
+        if (Consume("Infinity")) {
+          return Json::Number(std::numeric_limits<double>::infinity());
+        }
+        Fail("invalid literal (expected 'Infinity')");
+      case 'N':
+        if (Consume("NaN")) {
+          return Json::Number(std::numeric_limits<double>::quiet_NaN());
+        }
+        Fail("invalid literal (expected 'NaN')");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Json ParseObject(int depth) {
+    ++pos_;  // '{'
+    Json object = Json::Object();
+    SkipWhitespace();
+    if (Peek() == '}') {
+      ++pos_;
+      return object;
+    }
+    while (true) {
+      SkipWhitespace();
+      if (Peek() != '"') Fail("expected object key string");
+      std::string key = ParseString();
+      if (object.Find(key) != nullptr) Fail("duplicate object key '" + key + "'");
+      SkipWhitespace();
+      if (Peek() != ':') Fail("expected ':' after object key");
+      ++pos_;
+      object.Set(key, ParseValue(depth + 1));
+      SkipWhitespace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return object;
+      }
+      Fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json ParseArray(int depth) {
+    ++pos_;  // '['
+    Json array = Json::Array();
+    SkipWhitespace();
+    if (Peek() == ']') {
+      ++pos_;
+      return array;
+    }
+    while (true) {
+      array.Push(ParseValue(depth + 1));
+      SkipWhitespace();
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return array;
+      }
+      Fail("expected ',' or ']' in array");
+    }
+  }
+
+  unsigned ParseHex4() {
+    if (pos_ + 4 > text_.size()) Fail("truncated \\u escape");
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value += static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value += static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value += static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        Fail("invalid hex digit in \\u escape");
+      }
+    }
+    return value;
+  }
+
+  void AppendUtf8(std::string& out, unsigned code_point) {
+    if (code_point < 0x80) {
+      out += static_cast<char>(code_point);
+    } else if (code_point < 0x800) {
+      out += static_cast<char>(0xC0 | (code_point >> 6));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    } else if (code_point < 0x10000) {
+      out += static_cast<char>(0xE0 | (code_point >> 12));
+      out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (code_point >> 18));
+      out += static_cast<char>(0x80 | ((code_point >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((code_point >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code_point & 0x3F));
+    }
+  }
+
+  std::string ParseString() {
+    ++pos_;  // opening quote
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) Fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        Fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) Fail("unterminated escape sequence");
+      const char escape = text_[pos_++];
+      switch (escape) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned code_point = ParseHex4();
+          if (code_point >= 0xD800 && code_point <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow.
+            if (!Consume("\\u")) Fail("high surrogate not followed by \\u");
+            const unsigned low = ParseHex4();
+            if (low < 0xDC00 || low > 0xDFFF) {
+              Fail("invalid low surrogate");
+            }
+            code_point =
+                0x10000 + ((code_point - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code_point >= 0xDC00 && code_point <= 0xDFFF) {
+            Fail("lone low surrogate");
+          }
+          AppendUtf8(out, code_point);
+          break;
+        }
+        default:
+          Fail("invalid escape character");
+      }
+    }
+  }
+
+  Json ParseNumber() {
+    const std::size_t start = pos_;
+    if (Peek() == '-') {
+      ++pos_;
+      if (Consume("Infinity")) {
+        return Json::Number(-std::numeric_limits<double>::infinity());
+      }
+    }
+    // Integer part: 0, or a nonzero digit followed by digits (the JSON
+    // grammar forbids leading zeros).
+    if (Peek() == '0') {
+      ++pos_;
+    } else if (Peek() >= '1' && Peek() <= '9') {
+      while (Peek() >= '0' && Peek() <= '9') ++pos_;
+    } else {
+      Fail("invalid number");
+    }
+    if (Peek() == '.') {
+      ++pos_;
+      if (Peek() < '0' || Peek() > '9') Fail("digit expected after '.'");
+      while (Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (Peek() < '0' || Peek() > '9') Fail("digit expected in exponent");
+      while (Peek() >= '0' && Peek() <= '9') ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    return Json::Number(std::strtod(token.c_str(), nullptr));
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+/// Deterministic number formatting: integral doubles print as integers;
+/// everything else uses the shortest of 15/16/17 significant digits that
+/// still parses back to exactly the same double (so 0.1 prints as "0.1",
+/// not "0.10000000000000001", and every finite double round-trips);
+/// non-finite values print as the extended literals the parser accepts.
+std::string FormatNumber(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "Infinity" : "-Infinity";
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    return std::to_string(static_cast<long long>(value));
+  }
+  char buffer[32];
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
+    if (std::strtod(buffer, nullptr) == value) break;
+  }
+  return buffer;
+}
+
+void AppendEscaped(std::string& out, const std::string& text) {
+  out += '"';
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+Json Json::Bool(bool value) {
+  Json json;
+  json.kind_ = Kind::kBool;
+  json.bool_ = value;
+  return json;
+}
+
+Json Json::Number(double value) {
+  Json json;
+  json.kind_ = Kind::kNumber;
+  json.number_ = value;
+  return json;
+}
+
+Json Json::String(std::string value) {
+  Json json;
+  json.kind_ = Kind::kString;
+  json.string_ = std::move(value);
+  return json;
+}
+
+Json Json::Array() {
+  Json json;
+  json.kind_ = Kind::kArray;
+  return json;
+}
+
+Json Json::Object() {
+  Json json;
+  json.kind_ = Kind::kObject;
+  return json;
+}
+
+Json Json::Parse(const std::string& text) {
+  return Parser(text).ParseDocument();
+}
+
+bool Json::AsBool() const {
+  if (kind_ != Kind::kBool) throw JsonError("JSON value is not a bool");
+  return bool_;
+}
+
+double Json::AsNumber() const {
+  if (kind_ != Kind::kNumber) throw JsonError("JSON value is not a number");
+  return number_;
+}
+
+const std::string& Json::AsString() const {
+  if (kind_ != Kind::kString) throw JsonError("JSON value is not a string");
+  return string_;
+}
+
+const std::vector<Json>& Json::Items() const {
+  if (kind_ != Kind::kArray) throw JsonError("JSON value is not an array");
+  return items_;
+}
+
+const Json::Members& Json::ObjectMembers() const {
+  if (kind_ != Kind::kObject) throw JsonError("JSON value is not an object");
+  return members_;
+}
+
+void Json::Push(Json value) {
+  if (kind_ != Kind::kArray) throw JsonError("JSON value is not an array");
+  items_.push_back(std::move(value));
+}
+
+const Json* Json::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) throw JsonError("JSON value is not an object");
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+Json* Json::Find(const std::string& key) {
+  if (kind_ != Kind::kObject) throw JsonError("JSON value is not an object");
+  for (auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+void Json::Set(const std::string& key, Json value) {
+  if (Json* existing = Find(key)) {
+    *existing = std::move(value);
+    return;
+  }
+  members_.emplace_back(key, std::move(value));
+}
+
+bool Json::Remove(const std::string& key) {
+  if (kind_ != Kind::kObject) throw JsonError("JSON value is not an object");
+  for (auto it = members_.begin(); it != members_.end(); ++it) {
+    if (it->first == key) {
+      members_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::size_t Json::Size() const {
+  switch (kind_) {
+    case Kind::kArray: return items_.size();
+    case Kind::kObject: return members_.size();
+    case Kind::kString: return string_.size();
+    default:
+      throw JsonError("JSON value has no size");
+  }
+}
+
+std::string Json::Dump(int indent) const {
+  std::string out;
+  DumpTo(out, indent, 0);
+  return out;
+}
+
+void Json::DumpTo(std::string& out, int indent, int depth) const {
+  const auto newline_and_pad = [&](int levels) {
+    if (indent <= 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent * levels), ' ');
+  };
+  switch (kind_) {
+    case Kind::kNull:
+      out += "null";
+      break;
+    case Kind::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Kind::kNumber:
+      out += FormatNumber(number_);
+      break;
+    case Kind::kString:
+      AppendEscaped(out, string_);
+      break;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline_and_pad(depth + 1);
+        items_[i].DumpTo(out, indent, depth + 1);
+      }
+      newline_and_pad(depth);
+      out += ']';
+      break;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out += ',';
+        newline_and_pad(depth + 1);
+        AppendEscaped(out, members_[i].first);
+        out += indent > 0 ? ": " : ":";
+        members_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      newline_and_pad(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+bool operator==(const Json& a, const Json& b) {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case Json::Kind::kNull: return true;
+    case Json::Kind::kBool: return a.bool_ == b.bool_;
+    case Json::Kind::kNumber:
+      // NaN compares unequal (IEEE semantics); determinism tests compare
+      // serialized bytes when NaN could appear.
+      return a.number_ == b.number_;
+    case Json::Kind::kString: return a.string_ == b.string_;
+    case Json::Kind::kArray: return a.items_ == b.items_;
+    case Json::Kind::kObject: return a.members_ == b.members_;
+  }
+  return false;
+}
+
+}  // namespace sgr

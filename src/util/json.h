@@ -1,0 +1,117 @@
+#ifndef SGR_UTIL_JSON_H_
+#define SGR_UTIL_JSON_H_
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sgr {
+
+/// Error thrown by Json::Parse on malformed input (with a line:column
+/// location) and by the typed accessors on kind mismatch.
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A small dependency-free JSON document: value type, strict parser, and
+/// deterministic writer. Built for the scenario engine's specs and
+/// machine-readable benchmark reports (docs/ARCHITECTURE.md, "Scenario
+/// layer"), not as a general-purpose library:
+///
+///   * Objects preserve insertion order and Parse rejects duplicate keys,
+///     so Parse -> Dump round-trips byte-identically and two runs that
+///     build the same document serialize to the same bytes (the engine's
+///     determinism contract diffs reports textually).
+///   * Numbers are doubles, written with up to 17 significant digits, so
+///     every finite double survives a Dump -> Parse round trip exactly.
+///   * Non-finite numbers serialize as the literals Infinity / -Infinity /
+///     NaN (accepted by the parser too, and by Python's json module) —
+///     normalized L1 distances are +inf when the original property mass is
+///     zero, and silently nulling them would hide that.
+///   * Strings are UTF-8 byte sequences; the parser decodes \uXXXX escapes
+///     (including surrogate pairs) to UTF-8, the writer escapes the
+///     mandatory set (quote, backslash, control characters) and emits
+///     everything else verbatim.
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Members = std::vector<std::pair<std::string, Json>>;
+
+  /// A null value (also the default-constructed state).
+  Json() = default;
+
+  static Json Null() { return Json(); }
+  static Json Bool(bool value);
+  static Json Number(double value);
+  static Json String(std::string value);
+  static Json Array();
+  static Json Object();
+
+  /// Parses `text` as a single JSON document; trailing non-whitespace is
+  /// an error. Throws JsonError with a line:column location on malformed
+  /// input. Nesting deeper than 256 levels is rejected.
+  static Json Parse(const std::string& text);
+
+  Kind kind() const { return kind_; }
+  bool IsNull() const { return kind_ == Kind::kNull; }
+  bool IsBool() const { return kind_ == Kind::kBool; }
+  bool IsNumber() const { return kind_ == Kind::kNumber; }
+  bool IsString() const { return kind_ == Kind::kString; }
+  bool IsArray() const { return kind_ == Kind::kArray; }
+  bool IsObject() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; throw JsonError on kind mismatch.
+  bool AsBool() const;
+  double AsNumber() const;
+  const std::string& AsString() const;
+  const std::vector<Json>& Items() const;
+  const Members& ObjectMembers() const;
+
+  /// Array append (throws unless this is an array).
+  void Push(Json value);
+
+  /// Object member lookup: nullptr when absent (throws unless this is an
+  /// object).
+  const Json* Find(const std::string& key) const;
+  Json* Find(const std::string& key);
+
+  /// Object member write: replaces an existing key in place (keeping its
+  /// position) or appends a new one.
+  void Set(const std::string& key, Json value);
+
+  /// Removes an object member; returns whether it existed.
+  bool Remove(const std::string& key);
+
+  /// Array / object element count, string length.
+  std::size_t Size() const;
+
+  /// Serializes the document. `indent` > 0 pretty-prints with that many
+  /// spaces per level; 0 emits the compact single-line form. Output is a
+  /// pure function of the document (no pointers, no hashing), so equal
+  /// documents dump to equal bytes.
+  std::string Dump(int indent = 2) const;
+
+  /// Structural equality. Object comparison is order-sensitive — two
+  /// documents with the same members in different order are *not* equal —
+  /// matching the writer's byte-level determinism contract.
+  friend bool operator==(const Json& a, const Json& b);
+  friend bool operator!=(const Json& a, const Json& b) { return !(a == b); }
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;
+  Members members_;
+};
+
+}  // namespace sgr
+
+#endif  // SGR_UTIL_JSON_H_

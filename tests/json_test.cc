@@ -1,0 +1,196 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace sgr {
+namespace {
+
+TEST(JsonParseTest, Primitives) {
+  EXPECT_TRUE(Json::Parse("null").IsNull());
+  EXPECT_TRUE(Json::Parse("true").AsBool());
+  EXPECT_FALSE(Json::Parse("false").AsBool());
+  EXPECT_DOUBLE_EQ(Json::Parse("0").AsNumber(), 0.0);
+  EXPECT_DOUBLE_EQ(Json::Parse("-42").AsNumber(), -42.0);
+  EXPECT_DOUBLE_EQ(Json::Parse("3.5").AsNumber(), 3.5);
+  EXPECT_DOUBLE_EQ(Json::Parse("1e-3").AsNumber(), 1e-3);
+  EXPECT_DOUBLE_EQ(Json::Parse("2E+2").AsNumber(), 200.0);
+  EXPECT_EQ(Json::Parse("\"hi\"").AsString(), "hi");
+}
+
+TEST(JsonParseTest, NonFiniteLiterals) {
+  EXPECT_TRUE(std::isinf(Json::Parse("Infinity").AsNumber()));
+  EXPECT_GT(Json::Parse("Infinity").AsNumber(), 0.0);
+  EXPECT_LT(Json::Parse("-Infinity").AsNumber(), 0.0);
+  EXPECT_TRUE(std::isnan(Json::Parse("NaN").AsNumber()));
+}
+
+TEST(JsonParseTest, Structures) {
+  const Json doc = Json::Parse(R"({"a": [1, 2, {"b": true}], "c": null})");
+  ASSERT_TRUE(doc.IsObject());
+  ASSERT_EQ(doc.Size(), 2u);
+  const Json* a = doc.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->IsArray());
+  ASSERT_EQ(a->Size(), 3u);
+  EXPECT_DOUBLE_EQ(a->Items()[0].AsNumber(), 1.0);
+  EXPECT_TRUE(a->Items()[2].Find("b")->AsBool());
+  EXPECT_TRUE(doc.Find("c")->IsNull());
+  EXPECT_EQ(doc.Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, ObjectOrderPreserved) {
+  const Json doc = Json::Parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_EQ(doc.ObjectMembers().size(), 3u);
+  EXPECT_EQ(doc.ObjectMembers()[0].first, "z");
+  EXPECT_EQ(doc.ObjectMembers()[1].first, "a");
+  EXPECT_EQ(doc.ObjectMembers()[2].first, "m");
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(Json::Parse(R"("a\"b\\c\/d")").AsString(), "a\"b\\c/d");
+  EXPECT_EQ(Json::Parse(R"("\b\f\n\r\t")").AsString(), "\b\f\n\r\t");
+  EXPECT_EQ(Json::Parse(R"("A")").AsString(), "A");
+  EXPECT_EQ(Json::Parse(R"("é")").AsString(), "\xc3\xa9");
+  EXPECT_EQ(Json::Parse(R"("€")").AsString(), "\xe2\x82\xac");
+  // Surrogate pair: U+1F600.
+  EXPECT_EQ(Json::Parse(R"("😀")").AsString(),
+            "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParseTest, MalformedRejected) {
+  const char* cases[] = {
+      "",             // empty input
+      "{",            // unterminated object
+      "[1,",          // unterminated array
+      "[1,]",         // trailing comma
+      R"({"a":})",    // missing value
+      R"({"a" 1})",   // missing colon
+      "tru",          // bad literal
+      "\"abc",        // unterminated string
+      R"("\x")",      // invalid escape
+      R"("\u12")",    // truncated \u escape
+      R"("\ud83d")",  // lone high surrogate
+      R"("\ude00")",  // lone low surrogate
+      "01",           // leading zero
+      "1.",           // digit required after '.'
+      "1e",           // digit required in exponent
+      "-",            // bare minus
+      "1 2",          // trailing garbage
+      "{} x",         // trailing garbage after object
+      "infinity",     // wrong case
+      R"({"a":1,"a":2})",  // duplicate key
+      "\"a\tb\"",     // unescaped control character
+  };
+  for (const char* text : cases) {
+    EXPECT_THROW(Json::Parse(text), JsonError) << "input: " << text;
+  }
+}
+
+TEST(JsonParseTest, DepthLimit) {
+  std::string deep_ok(100, '[');
+  deep_ok += std::string(100, ']');
+  EXPECT_NO_THROW(Json::Parse(deep_ok));
+
+  std::string too_deep(300, '[');
+  too_deep += std::string(300, ']');
+  EXPECT_THROW(Json::Parse(too_deep), JsonError);
+}
+
+TEST(JsonParseTest, ErrorsCarryLocation) {
+  try {
+    Json::Parse("{\n  \"a\": tru\n}");
+    FAIL() << "expected JsonError";
+  } catch (const JsonError& e) {
+    EXPECT_NE(std::string(e.what()).find("2:"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(JsonDumpTest, CompactAndPretty) {
+  Json doc = Json::Object();
+  doc.Set("a", Json::Number(1.0));
+  Json arr = Json::Array();
+  arr.Push(Json::Bool(true));
+  arr.Push(Json::Null());
+  doc.Set("b", std::move(arr));
+  EXPECT_EQ(doc.Dump(0), R"({"a":1,"b":[true,null]})");
+  EXPECT_EQ(doc.Dump(2), "{\n  \"a\": 1,\n  \"b\": [\n    true,\n    null\n  ]\n}");
+}
+
+TEST(JsonDumpTest, EscapesControlCharacters) {
+  EXPECT_EQ(Json::String("a\"b\\c\nd\x01").Dump(0),
+            "\"a\\\"b\\\\c\\nd\\u0001\"");
+}
+
+TEST(JsonDumpTest, IntegersPrintWithoutExponent) {
+  EXPECT_EQ(Json::Number(0.0).Dump(0), "0");
+  EXPECT_EQ(Json::Number(-7.0).Dump(0), "-7");
+  EXPECT_EQ(Json::Number(123456789.0).Dump(0), "123456789");
+}
+
+TEST(JsonDumpTest, NonFiniteLiterals) {
+  EXPECT_EQ(Json::Number(std::numeric_limits<double>::infinity()).Dump(0),
+            "Infinity");
+  EXPECT_EQ(Json::Number(-std::numeric_limits<double>::infinity()).Dump(0),
+            "-Infinity");
+  EXPECT_EQ(Json::Number(std::nan("")).Dump(0), "NaN");
+}
+
+TEST(JsonRoundTripTest, DocumentSurvivesDumpParse) {
+  const std::string text =
+      R"({"name":"x","values":[0.1,-2.5e-7,3,true,null,"s\n\"t\""],)"
+      R"("nested":{"inf":Infinity,"empty":[],"eobj":{}}})";
+  const Json parsed = Json::Parse(text);
+  const Json reparsed = Json::Parse(parsed.Dump(2));
+  EXPECT_EQ(parsed, reparsed);
+  // Serialization is deterministic: dumping again yields the same bytes.
+  EXPECT_EQ(parsed.Dump(2), reparsed.Dump(2));
+}
+
+TEST(JsonRoundTripTest, SeventeenDigitsRoundTripExactly) {
+  for (double value : {0.1, 1.0 / 3.0, 0.1 + 0.2, 6.02214076e23,
+                       -1.7976931348623157e308, 5e-324}) {
+    const Json parsed = Json::Parse(Json::Number(value).Dump(0));
+    EXPECT_EQ(parsed.AsNumber(), value);
+  }
+}
+
+TEST(JsonMutationTest, SetFindRemove) {
+  Json doc = Json::Object();
+  doc.Set("a", Json::Number(1.0));
+  doc.Set("b", Json::Number(2.0));
+  doc.Set("a", Json::Number(3.0));  // replace keeps position
+  ASSERT_EQ(doc.Size(), 2u);
+  EXPECT_EQ(doc.ObjectMembers()[0].first, "a");
+  EXPECT_DOUBLE_EQ(doc.Find("a")->AsNumber(), 3.0);
+  EXPECT_TRUE(doc.Remove("a"));
+  EXPECT_FALSE(doc.Remove("a"));
+  EXPECT_EQ(doc.Find("a"), nullptr);
+}
+
+TEST(JsonMutationTest, KindMismatchThrows) {
+  const Json number = Json::Number(1.0);
+  EXPECT_THROW(number.AsBool(), JsonError);
+  EXPECT_THROW(number.AsString(), JsonError);
+  EXPECT_THROW(number.Items(), JsonError);
+  EXPECT_THROW(number.ObjectMembers(), JsonError);
+  Json array = Json::Array();
+  EXPECT_THROW(array.Set("k", Json::Null()), JsonError);
+  Json object = Json::Object();
+  EXPECT_THROW(object.Push(Json::Null()), JsonError);
+}
+
+TEST(JsonEqualityTest, OrderSensitiveObjects) {
+  const Json a = Json::Parse(R"({"x":1,"y":2})");
+  const Json b = Json::Parse(R"({"y":2,"x":1})");
+  const Json c = Json::Parse(R"({"x":1,"y":2})");
+  EXPECT_EQ(a, c);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace sgr

@@ -1,0 +1,338 @@
+#include "scenario/engine.h"
+#include "scenario/report.h"
+#include "scenario/spec.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/components.h"
+#include "graph/generators.h"
+
+namespace sgr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Spec parsing and validation
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioSpecTest, DefaultsMatchExperimentConfig) {
+  const ScenarioSpec spec =
+      ScenarioSpec::FromJson(Json::Parse(R"({"datasets": ["anybeat"]})"));
+  const ExperimentConfig defaults;
+  const ExperimentConfig from_spec = spec.ToExperimentConfig(0.1);
+  EXPECT_EQ(from_spec.query_fraction, defaults.query_fraction);
+  EXPECT_EQ(from_spec.methods, defaults.methods);
+  EXPECT_EQ(from_spec.snowball_k, defaults.snowball_k);
+  EXPECT_DOUBLE_EQ(from_spec.forest_fire_pf, defaults.forest_fire_pf);
+  EXPECT_DOUBLE_EQ(from_spec.restoration.rewire.rewiring_coefficient,
+                   defaults.restoration.rewire.rewiring_coefficient);
+  EXPECT_EQ(from_spec.restoration.simplify_output,
+            defaults.restoration.simplify_output);
+  EXPECT_EQ(from_spec.property_options.max_path_sources,
+            defaults.property_options.max_path_sources);
+  // The one deliberate difference: per-trial property evaluation is pinned
+  // to one thread for report determinism.
+  EXPECT_EQ(from_spec.property_options.threads, 1u);
+}
+
+TEST(ScenarioSpecTest, ParsesFullDocument) {
+  const ScenarioSpec spec = ScenarioSpec::FromJson(Json::Parse(R"({
+    "name": "mine",
+    "datasets": ["anybeat",
+                 {"name": "tiny", "model": "powerlaw", "nodes": 200,
+                  "edges_per_node": 3, "triad_p": 0.3, "seed": 7}],
+    "fractions": [0.05, 0.1],
+    "methods": ["rw", "proposed"],
+    "trials": 4,
+    "threads": 2,
+    "seed_base": 99,
+    "rc": 25,
+    "path_sources": 30,
+    "snowball_k": 10,
+    "forest_fire_pf": 0.5,
+    "simplify_output": true,
+    "dataset_scale": 0.5
+  })"));
+  EXPECT_EQ(spec.name, "mine");
+  ASSERT_EQ(spec.datasets.size(), 2u);
+  EXPECT_EQ(spec.datasets[0].name, "anybeat");
+  EXPECT_FALSE(spec.datasets[0].generator.has_value());
+  EXPECT_EQ(spec.datasets[1].name, "tiny");
+  ASSERT_TRUE(spec.datasets[1].generator.has_value());
+  EXPECT_EQ(spec.datasets[1].generator->nodes, 200u);
+  EXPECT_EQ(spec.datasets[1].generator->seed, 7u);
+  EXPECT_EQ(spec.fractions, (std::vector<double>{0.05, 0.1}));
+  EXPECT_EQ(spec.methods,
+            (std::vector<MethodKind>{MethodKind::kRandomWalk,
+                                     MethodKind::kProposed}));
+  EXPECT_EQ(spec.trials, 4u);
+  EXPECT_EQ(spec.threads, 2u);
+  EXPECT_EQ(spec.seed_base, 99u);
+  EXPECT_DOUBLE_EQ(spec.rc, 25.0);
+  EXPECT_EQ(spec.path_sources, 30u);
+  EXPECT_EQ(spec.snowball_k, 10u);
+  EXPECT_DOUBLE_EQ(spec.forest_fire_pf, 0.5);
+  EXPECT_TRUE(spec.simplify_output);
+  EXPECT_DOUBLE_EQ(spec.dataset_scale, 0.5);
+}
+
+TEST(ScenarioSpecTest, RoundTripsThroughJson) {
+  const ScenarioSpec spec = BuiltinScenario("fig3-sweep");
+  const ScenarioSpec reparsed = ScenarioSpec::FromJson(spec.ToJson());
+  EXPECT_EQ(spec.ToJson(), reparsed.ToJson());
+}
+
+TEST(ScenarioSpecTest, ValidationErrors) {
+  const char* cases[] = {
+      R"({})",                                        // datasets required
+      R"({"datasets": []})",                          // empty datasets
+      R"({"datasets": ["nope"]})",                    // unknown dataset
+      R"({"datasets": [3]})",                         // wrong entry type
+      R"({"datasets": ["anybeat", "anybeat"]})",      // duplicate dataset
+      R"({"datasets": [{"model": "m6"}]})",           // unknown model
+      R"({"datasets": [{"nodes": 2}]})",              // too few nodes
+      R"({"datasets": [{"typo": 1}]})",               // unknown generator key
+      R"({"datasets": ["anybeat"], "fractions": []})",
+      R"({"datasets": ["anybeat"], "fractions": [0]})",
+      R"({"datasets": ["anybeat"], "fractions": [1.5]})",
+      R"({"datasets": ["anybeat"], "fractions": ["x"]})",
+      R"({"datasets": ["anybeat"], "methods": []})",
+      R"({"datasets": ["anybeat"], "methods": ["warp"]})",
+      R"({"datasets": ["anybeat"], "methods": ["rw", "rw"]})",
+      R"({"datasets": ["anybeat"], "trials": 0})",
+      R"({"datasets": ["anybeat"], "trials": 2.5})",
+      R"({"datasets": ["anybeat"], "trials": -1})",
+      R"({"datasets": ["anybeat"], "rc": -5})",
+      R"({"datasets": ["anybeat"], "snowball_k": 0})",
+      R"({"datasets": ["anybeat"], "forest_fire_pf": 1})",
+      R"({"datasets": ["anybeat"], "simplify_output": "yes"})",
+      R"({"datasets": ["anybeat"], "dataset_scale": -1})",
+      R"({"datasets": ["anybeat"], "surprise": 1})",  // unknown key
+      R"([1, 2, 3])",                                 // not an object
+  };
+  for (const char* text : cases) {
+    EXPECT_THROW(ScenarioSpec::FromJson(Json::Parse(text)), ScenarioError)
+        << "spec: " << text;
+  }
+}
+
+TEST(ScenarioSpecTest, GeneratorPreconditionsRejectedNotCrashed) {
+  // Schema-valid but infeasible generators must throw ScenarioError from
+  // BuildGeneratorGraph — the generators' asserts vanish under NDEBUG, so
+  // without this gate these specs SIGFPE / hang / SIGSEGV in Release.
+  GeneratorSpec er;
+  er.model = "er";
+  er.nodes = 10;
+  er.edges = 100;  // > n(n-1)/2 = 45: the G(n,m) sampler can never finish
+  EXPECT_THROW(BuildGeneratorGraph(er), ScenarioError);
+
+  GeneratorSpec community;
+  community.model = "community";
+  community.nodes = 100;
+  community.communities = 0;  // division by zero
+  EXPECT_THROW(BuildGeneratorGraph(community), ScenarioError);
+
+  GeneratorSpec tiny_communities;
+  tiny_communities.model = "community";
+  tiny_communities.nodes = 20;
+  tiny_communities.communities = 10;  // community size 2 <= edges_per_node
+  tiny_communities.edges_per_node = 4;
+  EXPECT_THROW(BuildGeneratorGraph(tiny_communities), ScenarioError);
+
+  GeneratorSpec social;
+  social.model = "social";
+  social.nodes = 12;
+  social.fringe_fraction = 0.9;  // core 1 <= edges_per_node
+  EXPECT_THROW(BuildGeneratorGraph(social), ScenarioError);
+
+  GeneratorSpec zero_epn;
+  zero_epn.model = "powerlaw";
+  zero_epn.nodes = 100;
+  zero_epn.edges_per_node = 0;
+  EXPECT_THROW(BuildGeneratorGraph(zero_epn), ScenarioError);
+
+  // A feasible spec of every model still builds.
+  for (const char* model : {"powerlaw", "ba", "er", "community", "social"}) {
+    GeneratorSpec ok;
+    ok.model = model;
+    ok.nodes = 100;
+    EXPECT_GT(BuildGeneratorGraph(ok).NumNodes(), 0u) << model;
+  }
+}
+
+TEST(ScenarioSpecTest, MethodTokensRoundTrip) {
+  for (MethodKind kind :
+       {MethodKind::kBfs, MethodKind::kSnowball, MethodKind::kForestFire,
+        MethodKind::kRandomWalk, MethodKind::kGjoka,
+        MethodKind::kProposed}) {
+    EXPECT_EQ(MethodKindFromToken(MethodToken(kind)), kind);
+  }
+  EXPECT_THROW(MethodKindFromToken("warp"), ScenarioError);
+}
+
+TEST(ScenarioSpecTest, BuiltinsAreValidAndListed) {
+  const auto names = BuiltinScenarioNames();
+  ASSERT_FALSE(names.empty());
+  for (const std::string& name : names) {
+    EXPECT_TRUE(IsBuiltinScenario(name));
+    const ScenarioSpec spec = BuiltinScenario(name);
+    EXPECT_EQ(spec.name, name);
+    EXPECT_FALSE(spec.datasets.empty());
+    EXPECT_FALSE(BuiltinScenarioDescription(name).empty());
+    // Every built-in must survive its own serialization.
+    EXPECT_NO_THROW(ScenarioSpec::FromJson(spec.ToJson()));
+  }
+  EXPECT_FALSE(IsBuiltinScenario("no-such-scenario"));
+  EXPECT_THROW(BuiltinScenario("no-such-scenario"), ScenarioError);
+}
+
+// ---------------------------------------------------------------------------
+// Report document
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioReportTest, StripVolatileRemovesEnvironmentAndTimings) {
+  const Json report = Json::Parse(R"({
+    "schema": "sgr-report/1",
+    "environment": {"threads": 4},
+    "cells": [
+      {"dataset": "a",
+       "methods": [{"method": "Proposed", "timings": {"restore_seconds": 1}}],
+       "timings": {"wall_seconds": 2}}
+    ]
+  })");
+  const Json stripped = StripVolatile(report);
+  EXPECT_EQ(stripped.Find("environment"), nullptr);
+  const Json& cell = stripped.Find("cells")->Items()[0];
+  EXPECT_EQ(cell.Find("timings"), nullptr);
+  EXPECT_EQ(cell.Find("methods")->Items()[0].Find("timings"), nullptr);
+  EXPECT_NE(cell.Find("dataset"), nullptr);
+  EXPECT_EQ(stripped.Find("schema")->AsString(), "sgr-report/1");
+}
+
+TEST(ScenarioReportTest, EnvironmentCaptureIsPopulated) {
+  const RunEnvironment environment = CaptureEnvironment(3);
+  EXPECT_EQ(environment.threads, 3u);
+  const Json json = EnvironmentToJson(environment);
+  EXPECT_DOUBLE_EQ(json.Find("threads")->AsNumber(), 3.0);
+  EXPECT_NE(json.Find("build"), nullptr);
+  EXPECT_NE(json.Find("hardware_concurrency"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+/// A hermetic, CI-sized scenario: generator datasets (no environment
+/// dependence), tiny graphs, all six methods.
+ScenarioSpec TinySpec() {
+  return ScenarioSpec::FromJson(Json::Parse(R"({
+    "name": "tiny",
+    "datasets": [{"name": "tiny-powerlaw", "model": "powerlaw",
+                  "nodes": 150, "edges_per_node": 3, "triad_p": 0.4,
+                  "seed": 11}],
+    "fractions": [0.1, 0.2],
+    "trials": 2,
+    "seed_base": 1234,
+    "rc": 5,
+    "path_sources": 20
+  })"));
+}
+
+TEST(ScenarioEngineTest, RunsTheFullMatrix) {
+  const ScenarioRunResult result = RunScenario(TinySpec(), 1);
+  ASSERT_EQ(result.cells.size(), 2u);  // 1 dataset x 2 fractions
+  EXPECT_EQ(result.threads, 1u);
+  std::uint64_t expected_seed = 1234;
+  for (const ScenarioCell& cell : result.cells) {
+    EXPECT_EQ(cell.dataset, "tiny-powerlaw");
+    EXPECT_GT(cell.nodes, 0u);
+    EXPECT_GT(cell.edges, 0u);
+    EXPECT_EQ(cell.trials, 2u);
+    EXPECT_EQ(cell.seed_base, expected_seed);
+    expected_seed += 2;  // trials per cell
+    ASSERT_EQ(cell.methods.size(), 6u);
+    for (const auto& [kind, aggregate] : cell.methods) {
+      (void)kind;
+      const DistanceSummary summary = aggregate.distances.Summarize();
+      EXPECT_EQ(summary.runs, 2u);
+      EXPECT_GE(summary.mean_average, 0.0);
+    }
+  }
+  EXPECT_DOUBLE_EQ(result.cells[0].query_fraction, 0.1);
+  EXPECT_DOUBLE_EQ(result.cells[1].query_fraction, 0.2);
+}
+
+TEST(ScenarioEngineTest, ReportJsonHasTheTwelveProperties) {
+  const ScenarioRunResult result = RunScenario(TinySpec(), 1);
+  const Json report = ScenarioReportToJson(result);
+  EXPECT_EQ(report.Find("schema")->AsString(), "sgr-report/1");
+  EXPECT_EQ(report.Find("tool")->AsString(), "sgr run");
+  EXPECT_NE(report.Find("environment"), nullptr);
+  EXPECT_EQ(report.Find("config")->Find("name")->AsString(), "tiny");
+  const auto& cells = report.Find("cells")->Items();
+  ASSERT_EQ(cells.size(), 2u);
+  for (const Json& cell : cells) {
+    EXPECT_NE(cell.Find("timings")->Find("wall_seconds"), nullptr);
+    const auto& methods = cell.Find("methods")->Items();
+    ASSERT_EQ(methods.size(), 6u);
+    for (const Json& method : methods) {
+      const Json* per_property =
+          method.Find("distances")->Find("per_property");
+      ASSERT_NE(per_property, nullptr);
+      EXPECT_EQ(per_property->Size(), kNumProperties);
+      for (const std::string& name : PropertyNames()) {
+        EXPECT_NE(per_property->Find(name), nullptr) << name;
+      }
+      EXPECT_NE(method.Find("distances")->Find("average"), nullptr);
+      EXPECT_NE(method.Find("timings")->Find("restore_seconds"), nullptr);
+    }
+  }
+}
+
+TEST(ScenarioEngineTest, ReportIsByteIdenticalAcrossThreadCounts) {
+  const ScenarioSpec spec = TinySpec();
+  const ScenarioRunResult sequential = RunScenario(spec, 1);
+  const ScenarioRunResult concurrent = RunScenario(spec, 4);
+  EXPECT_EQ(concurrent.threads, 4u);
+  const std::string a =
+      StripVolatile(ScenarioReportToJson(sequential)).Dump(2);
+  const std::string b =
+      StripVolatile(ScenarioReportToJson(concurrent)).Dump(2);
+  EXPECT_EQ(a, b);
+  // The stripped report still carries the scientific content.
+  EXPECT_NE(a.find("per_property"), std::string::npos);
+  EXPECT_NE(a.find("\"average\""), std::string::npos);
+}
+
+TEST(ScenarioEngineTest, RunScenarioCellMatchesDirectRunExperiments) {
+  // The engine's cell aggregation must be exactly the benches' historical
+  // RunDataset reduction: trial i seeded seed_base + i, reduced in trial
+  // order, timing means divided by the trial count.
+  const ScenarioSpec spec = TinySpec();
+  Rng rng(spec.datasets[0].generator->seed);
+  const Graph dataset = PreprocessDataset(GeneratePowerlawCluster(
+      spec.datasets[0].generator->nodes,
+      spec.datasets[0].generator->edges_per_node,
+      spec.datasets[0].generator->triad_p, rng));
+  const ExperimentConfig config = spec.ToExperimentConfig(0.1);
+  const GraphProperties properties =
+      ComputeProperties(dataset, config.property_options);
+  const ScenarioCell cell = RunScenarioCell(
+      "x", dataset, properties, config, spec.trials, spec.seed_base, 1);
+  const auto trials = RunExperiments(dataset, properties, config,
+                                     spec.seed_base, spec.trials, 1);
+  DistanceAccumulator expected;
+  for (const auto& trial : trials) {
+    for (const MethodRunResult& r : trial) {
+      if (r.kind == MethodKind::kProposed) expected.Add(r.distances);
+    }
+  }
+  EXPECT_DOUBLE_EQ(
+      cell.methods.at(MethodKind::kProposed).distances.Summarize()
+          .mean_average,
+      expected.Summarize().mean_average);
+}
+
+}  // namespace
+}  // namespace sgr

@@ -23,16 +23,36 @@
 //   sgr compare --original graph.txt --generated restored.txt
 //               [--sources 500]
 //       Print the per-property normalized L1 distances.
+//
+//   sgr run scenario.json --out results.json [--threads N]
+//   sgr run tables-smoke --out results.json
+//       Execute a declarative scenario — a {dataset x crawler x budget x
+//       method} matrix described by one JSON file or a built-in name —
+//       through the parallel trial engine, and write a structured JSON
+//       report (per-cell wall-clock timings, the 12-property L1
+//       distances, and the run environment). --threads (or SGR_THREADS;
+//       0 = hardware concurrency) overrides the scenario's own thread
+//       count; the report's non-timing content is identical for every
+//       value. Without --out the report goes to stdout.
+//
+//   sgr scenarios list
+//   sgr scenarios show tables-smoke
+//       Enumerate the built-in scenarios / print one as a scenario.json
+//       starting point.
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "analysis/extras.h"
 #include "analysis/l1.h"
 #include "analysis/properties.h"
+#include "exp/parallel.h"
+#include "exp/runner.h"
 #include "exp/table_printer.h"
 #include "graph/components.h"
 #include "graph/generators.h"
@@ -48,6 +68,9 @@
 #include "sampling/non_backtracking.h"
 #include "sampling/random_walk.h"
 #include "sampling/snowball.h"
+#include "scenario/engine.h"
+#include "scenario/report.h"
+#include "scenario/spec.h"
 
 namespace {
 
@@ -80,6 +103,10 @@ class Args {
     return it == values_.end() ? dflt : it->second;
   }
 
+  bool Has(const std::string& key) const {
+    return values_.find(key) != values_.end();
+  }
+
   double GetDouble(const std::string& key, double dflt) const {
     auto it = values_.find(key);
     return it == values_.end() ? dflt : std::stod(it->second);
@@ -95,32 +122,21 @@ class Args {
 };
 
 int CmdGenerate(const Args& args) {
-  const std::string model = args.GetOr("model", "powerlaw");
-  const auto n = static_cast<std::size_t>(args.GetUint("nodes", 3000));
-  Rng rng(args.GetUint("seed", 1));
-  Graph g;
-  if (model == "powerlaw") {
-    g = GeneratePowerlawCluster(
-        n, static_cast<std::size_t>(args.GetUint("edges-per-node", 4)),
-        args.GetDouble("triad-p", 0.4), rng);
-  } else if (model == "ba") {
-    g = GenerateBarabasiAlbert(
-        n, static_cast<std::size_t>(args.GetUint("edges-per-node", 4)),
-        rng);
-  } else if (model == "er") {
-    g = GenerateErdosRenyiGnm(
-        n, static_cast<std::size_t>(args.GetUint("edges", 4 * n)), rng);
-  } else if (model == "community") {
-    g = GenerateCommunityGraph(
-        n, static_cast<std::size_t>(args.GetUint("communities", 4)),
-        static_cast<std::size_t>(args.GetUint("edges-per-node", 3)),
-        args.GetDouble("triad-p", 0.4),
-        static_cast<std::size_t>(args.GetUint("bridges", n / 50 + 1)), rng);
-  } else {
-    throw std::runtime_error("unknown model '" + model +
-                             "' (powerlaw|ba|er|community)");
-  }
-  g = PreprocessDataset(g);
+  // Flags map onto a GeneratorSpec, so `sgr generate` and a scenario's
+  // generator object share one model dispatch (BuildGeneratorGraph).
+  GeneratorSpec gen;
+  gen.model = args.GetOr("model", "powerlaw");
+  gen.nodes = static_cast<std::size_t>(args.GetUint("nodes", 3000));
+  gen.edges_per_node = static_cast<std::size_t>(args.GetUint(
+      "edges-per-node", gen.model == "community" ? 3 : 4));
+  gen.triad_p = args.GetDouble("triad-p", 0.4);
+  gen.fringe_fraction = args.GetDouble("fringe-fraction", 0.4);
+  gen.edges = static_cast<std::size_t>(args.GetUint("edges", 0));
+  gen.communities =
+      static_cast<std::size_t>(args.GetUint("communities", 4));
+  gen.bridges = static_cast<std::size_t>(args.GetUint("bridges", 0));
+  gen.seed = args.GetUint("seed", 1);
+  const Graph g = BuildGeneratorGraph(gen);
   WriteEdgeListFile(g, args.Get("out"));
   std::cout << "wrote " << args.Get("out") << ": n = " << g.NumNodes()
             << ", m = " << g.NumEdges() << "\n";
@@ -256,19 +272,95 @@ int CmdCompare(const Args& args) {
   return 0;
 }
 
+/// Loads a scenario from a built-in name or a JSON file path.
+ScenarioSpec LoadScenarioSpec(const std::string& source) {
+  if (IsBuiltinScenario(source)) return BuiltinScenario(source);
+  std::ifstream in(source);
+  if (!in) {
+    throw std::runtime_error(
+        "'" + source +
+        "' is neither a built-in scenario (see `sgr scenarios list`) nor a "
+        "readable file");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return ScenarioSpec::FromJson(Json::Parse(text.str()));
+}
+
+/// sgr run <scenario.json | built-in name> [--out FILE] [--threads N]
+int CmdRun(const std::string& source, const Args& args) {
+  const ScenarioSpec spec = LoadScenarioSpec(source);
+
+  // Thread-count precedence mirrors the bench binaries: the --threads
+  // flag beats $SGR_THREADS beats the scenario's own "threads" field
+  // (0 = hardware concurrency throughout). An unset or unparseable
+  // SGR_THREADS falls back to the spec, per EnvOr's contract.
+  std::size_t threads = static_cast<std::size_t>(
+      EnvOr("SGR_THREADS", static_cast<double>(spec.threads)));
+  if (args.Has("threads")) {
+    threads = static_cast<std::size_t>(args.GetUint("threads", 1));
+  }
+
+  std::cerr << "scenario '" << spec.name << "': " << spec.datasets.size()
+            << " dataset(s) x " << spec.fractions.size()
+            << " fraction(s), " << spec.trials << " trials, threads = "
+            << ResolveThreadCount(threads) << "\n";
+  const ScenarioRunResult result = RunScenario(spec, threads, &std::cerr);
+  const Json report = ScenarioReportToJson(result);
+  if (args.Has("out")) {
+    const std::string path = args.Get("out");
+    WriteJsonFile(report, path);
+    std::cout << "wrote " << path << ": " << result.cells.size()
+              << " cell(s)\n";
+  } else {
+    std::cout << report.Dump(2) << "\n";
+  }
+  return 0;
+}
+
+/// sgr scenarios list | show <name>
+int CmdScenarios(int argc, char** argv) {
+  const std::string verb = argc > 2 ? argv[2] : "list";
+  if (verb == "list") {
+    TablePrinter table(std::cout, {"Scenario", "Description"});
+    for (const std::string& name : BuiltinScenarioNames()) {
+      table.AddRow({name, BuiltinScenarioDescription(name)});
+    }
+    table.Print();
+    std::cout << "\nrun one with `sgr run <name> --out results.json`, or "
+                 "`sgr scenarios show <name> > my.json` to start a custom "
+                 "scenario.\n";
+    return 0;
+  }
+  if (verb == "show") {
+    if (argc < 4) {
+      throw std::runtime_error("usage: sgr scenarios show <name>");
+    }
+    std::cout << BuiltinScenario(argv[3]).ToJson().Dump(2) << "\n";
+    return 0;
+  }
+  throw std::runtime_error("unknown scenarios verb '" + verb +
+                           "' (list|show)");
+}
+
 void PrintUsage() {
   std::cout <<
       "usage: sgr <command> [--flag value ...]\n"
       "commands:\n"
-      "  generate  --out FILE [--model powerlaw|ba|er|community]\n"
+      "  generate  --out FILE [--model powerlaw|ba|er|community|social]\n"
       "            [--nodes N] [--edges-per-node M] [--triad-p P] [--seed S]\n"
+      "            [--edges M] [--communities C] [--bridges B]\n"
+      "            [--fringe-fraction F]\n"
       "  crawl     --graph FILE --out FILE [--method rw|nbrw|mhrw|bfs|\n"
       "            snowball|ff|frontier] [--fraction F] [--seed S]\n"
       "  restore   --sample FILE --out FILE [--method proposed|gjoka|\n"
       "            subgraph] [--rc RC] [--seed S] [--walk-type simple|nbrw]\n"
       "            [--simplify 0|1]\n"
       "  analyze   --graph FILE [--sources N]\n"
-      "  compare   --original FILE --generated FILE [--sources N]\n";
+      "  compare   --original FILE --generated FILE [--sources N]\n"
+      "  run       SCENARIO(.json file or built-in name) [--out FILE]\n"
+      "            [--threads N]   (or SGR_THREADS; 0 = all cores)\n"
+      "  scenarios list | show NAME\n";
 }
 
 }  // namespace
@@ -280,6 +372,15 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   try {
+    if (command == "run") {
+      if (argc < 3 || argv[2][0] == '-') {
+        throw std::runtime_error(
+            "usage: sgr run <scenario.json | built-in name> [--out FILE] "
+            "[--threads N]");
+      }
+      return CmdRun(argv[2], Args(argc, argv, 3));
+    }
+    if (command == "scenarios") return CmdScenarios(argc, argv);
     Args args(argc, argv, 2);
     if (command == "generate") return CmdGenerate(args);
     if (command == "crawl") return CmdCrawl(args);
