@@ -32,13 +32,21 @@ RestorationResult RestoreGjoka(const SamplingList& list,
   result.graph = Construct2kGraph(targets.n_star, m_star, rng);
 
   Timer rewiring;
-  result.rewire_stats = RewireToClustering(
-      result.graph, /*num_protected_edges=*/0, result.estimates.clustering,
-      options.rewire, rng);
+  if (options.parallel_rewire.batch_size > 0) {
+    result.rewire_stats = RewireToClusteringParallel(
+        result.graph, /*num_protected_edges=*/0,
+        result.estimates.clustering, options.rewire,
+        options.parallel_rewire, rng.engine()());
+  } else {
+    result.rewire_stats = RewireToClustering(
+        result.graph, /*num_protected_edges=*/0,
+        result.estimates.clustering, options.rewire, rng);
+  }
   result.rewiring_seconds = rewiring.Seconds();
 
   if (options.simplify_output) {
-    SimplifyByRewiring(result.graph, /*num_protected_edges=*/0, rng);
+    SimplifyByRewiring(result.graph, /*num_protected_edges=*/0, rng,
+                       options.parallel_rewire.threads);
   }
   result.total_seconds = total.Seconds();
   return result;

@@ -17,6 +17,13 @@ struct RestorationOptions {
   /// Rewiring-phase options (RC = 500 reproduces the paper's setting).
   RewireOptions rewire;
 
+  /// Batched speculative rewiring engine. `parallel_rewire.batch_size`
+  /// selects the engine: 0 (the default) runs the classic sequential
+  /// attempt loop; nonzero runs RewireToClusteringParallel with that
+  /// round size on `parallel_rewire.threads` workers. The thread count
+  /// never changes results — see restore/rewirer.h.
+  ParallelRewireOptions parallel_rewire;
+
   /// Estimator options (collision-lag fraction, joint-estimator mode,
   /// walk type). Set `estimator.walk_type = WalkType::kNonBacktracking`
   /// when the sampling list came from NonBacktrackingWalkSample.

@@ -40,15 +40,24 @@ RestorationResult RestoreProposed(const SamplingList& list,
 
   // Fourth phase: rewire non-subgraph edges toward ĉ̄(k). Protecting the
   // first |E'| edge ids (the subgraph edges copied first by Algorithm 5)
-  // realizes E~rew = E~ \ E'.
+  // realizes E~rew = E~ \ E'. A nonzero batch size selects the batched
+  // speculative engine; its seed is one engine draw, so the sequential
+  // path's RNG stream is untouched when the engine is off.
   Timer rewiring;
-  result.rewire_stats =
-      RewireToClustering(result.graph, sub.graph.NumEdges(),
-                         result.estimates.clustering, options.rewire, rng);
+  if (options.parallel_rewire.batch_size > 0) {
+    result.rewire_stats = RewireToClusteringParallel(
+        result.graph, sub.graph.NumEdges(), result.estimates.clustering,
+        options.rewire, options.parallel_rewire, rng.engine()());
+  } else {
+    result.rewire_stats =
+        RewireToClustering(result.graph, sub.graph.NumEdges(),
+                           result.estimates.clustering, options.rewire, rng);
+  }
   result.rewiring_seconds = rewiring.Seconds();
 
   if (options.simplify_output) {
-    SimplifyByRewiring(result.graph, sub.graph.NumEdges(), rng);
+    SimplifyByRewiring(result.graph, sub.graph.NumEdges(), rng,
+                       options.parallel_rewire.threads);
   }
   result.total_seconds = total.Seconds();
   return result;

@@ -17,9 +17,37 @@ struct RewireOptions {
   double rewiring_coefficient = 500.0;
 
   /// Attempts between full objective recomputations (floating-point drift
-  /// control for the incrementally maintained L1 distance).
+  /// control for the incrementally maintained L1 distance). 0 means
+  /// "never resync" (the final distance is always recomputed from
+  /// scratch regardless).
   std::size_t resync_interval = 1 << 20;
 };
+
+/// Options of the batched speculative rewiring engine
+/// (RewireToClusteringParallel).
+///
+/// `threads` is an execution knob only: for a fixed `batch_size` the
+/// engine's output — the rewired graph, every RewireStats field, and the
+/// rewiring objective trajectory — is byte-identical for every thread
+/// count, because the proposal stream is drawn from a per-round RNG
+/// derived purely from (seed, round) and commits happen sequentially in
+/// canonical batch order. `batch_size` IS an algorithm knob: changing it
+/// changes which proposals are scored against which tracker state, so it
+/// selects a different (equally valid) optimization trajectory.
+struct ParallelRewireOptions {
+  /// Proposals drawn and speculatively scored per round. 0 lets the
+  /// engine pick its default (kDefaultRewireBatch).
+  std::size_t batch_size = 0;
+
+  /// Worker threads for the speculative scoring phase (0 = hardware
+  /// concurrency, 1 = fully inline). Never changes results.
+  std::size_t threads = 1;
+};
+
+/// Default proposals-per-round of the batched engine when
+/// ParallelRewireOptions::batch_size is 0. Large enough to amortize the
+/// per-round fan-out, small enough that intra-round conflicts stay rare.
+inline constexpr std::size_t kDefaultRewireBatch = 256;
 
 /// Outcome statistics of a rewiring run.
 struct RewireStats {
@@ -27,6 +55,12 @@ struct RewireStats {
   std::size_t accepted = 0;          ///< swaps that reduced the objective
   double initial_distance = 0.0;     ///< normalized L1 before rewiring
   double final_distance = 0.0;       ///< normalized L1 after rewiring
+
+  // Batched-engine round accounting (all zero on the sequential path).
+  std::size_t rounds = 0;        ///< proposal batches drawn
+  std::size_t evaluated = 0;     ///< well-formed proposals scored speculatively
+  std::size_t conflicts = 0;     ///< proposals dropped: edge re-rewired earlier in the round
+  std::size_t reevaluated = 0;   ///< stale scores re-derived at commit time
 };
 
 /// Rewires edges of `g` so that its degree-dependent clustering coefficient
@@ -36,6 +70,8 @@ struct RewireStats {
 /// proposed method protects the sampled subgraph (E~rew = E~ \ E'), which is
 /// both what preserves the subgraph structure and the source of its speedup
 /// over Gjoka et al.'s variant (which passes 0 and rewires everything).
+/// `num_protected_edges > g.NumEdges()` leaves nothing to rewire and
+/// returns empty stats (as does any candidate set smaller than 2).
 ///
 /// Each attempt draws an ordered pair of distinct candidate edges, picks a
 /// uniformly random endpoint orientation ((i,j),(a,b)) with deg(i) = deg(a)
@@ -46,6 +82,46 @@ struct RewireStats {
 RewireStats RewireToClustering(Graph& g, std::size_t num_protected_edges,
                                const std::vector<double>& target_clustering,
                                const RewireOptions& options, Rng& rng);
+
+/// Batched speculative variant of RewireToClustering: the same swap
+/// family, candidate protection, and strict-improvement acceptance, run
+/// as rounds of `parallel.batch_size` proposals.
+///
+/// Every round:
+///   1. draws its proposal batch from a deterministic per-round RNG
+///      stream (DeriveRoundSeed(seed, ..., round) — independent of the
+///      worker count),
+///   2. scores each proposal's objective delta speculatively against the
+///      frozen round-start tracker state, in parallel on up to
+///      `parallel.threads` workers (TriangleTracker::EvaluateSwapDelta is
+///      const and race-free),
+///   3. commits in canonical batch order: speculatively non-improving
+///      proposals are rejected; improving ones whose conflict footprint
+///      (four endpoints + touched degree classes) overlaps an earlier
+///      commit of the same round are re-scored against the live state
+///      first; proposals whose edge ids were already rewired this round
+///      are dropped.
+///
+/// The commit step is the only writer, so the rewired graph and every
+/// RewireStats field are byte-identical for every `parallel.threads`
+/// value — the intra-trial extension of the trial-level determinism
+/// contract RunExperiments locks. Note the trajectory differs from the
+/// sequential RewireToClustering for the same seed (proposals are scored
+/// against round-start state, not the post-previous-attempt state): both
+/// are valid runs of Algorithm 6, each individually deterministic.
+///
+/// `options.resync_interval` is ignored: acceptance always scores fresh
+/// from the exact integer triangle state and the final distance is
+/// recomputed from scratch, so this engine has no floating-point drift
+/// to control.
+///
+/// `seed` drives all randomness; callers holding an Rng should pass one
+/// engine draw (rng.engine()()).
+RewireStats RewireToClusteringParallel(
+    Graph& g, std::size_t num_protected_edges,
+    const std::vector<double>& target_clustering,
+    const RewireOptions& options, const ParallelRewireOptions& parallel,
+    std::uint64_t seed);
 
 }  // namespace sgr
 

@@ -3,14 +3,54 @@
 #include <algorithm>
 #include <array>
 #include <cstdint>
-#include <set>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "exp/parallel.h"
+
 namespace sgr {
 
 namespace {
+
+/// Sentinel key for self-loops in the offense census (sorts last).
+constexpr std::uint64_t kLoopKey = ~std::uint64_t{0};
+
+/// Exact offense census: loops, plus parallel surplus (bundle size - 1
+/// per distinct node pair). The edge scan is keyed and parallelized over
+/// chunks; the result is a pure integer count of the edge multiset, so it
+/// is identical for every thread count.
+std::size_t CountOffense(const Graph& g, std::size_t threads) {
+  const std::size_t m = g.NumEdges();
+  std::vector<std::uint64_t> keys(m);
+  const std::size_t workers = ResolveThreadCount(threads);
+  const std::size_t chunk = 1 << 14;
+  const std::size_t num_chunks = (m + chunk - 1) / chunk;
+  ParallelFor(num_chunks, workers, [&](std::size_t c) {
+    const std::size_t begin = c * chunk;
+    const std::size_t end = std::min(m, begin + chunk);
+    for (std::size_t e = begin; e < end; ++e) {
+      const Edge& edge = g.edge(e);
+      if (edge.u == edge.v) {
+        keys[e] = kLoopKey;
+      } else {
+        const auto [lo, hi] = std::minmax(edge.u, edge.v);
+        keys[e] = (static_cast<std::uint64_t>(lo) << 32) | hi;
+      }
+    }
+  });
+  std::sort(keys.begin(), keys.end());
+  std::size_t loops = 0;
+  std::size_t surplus = 0;
+  for (std::size_t e = 0; e < m; ++e) {
+    if (keys[e] == kLoopKey) {
+      ++loops;
+    } else if (e > 0 && keys[e] == keys[e - 1]) {
+      ++surplus;
+    }
+  }
+  return loops + surplus;
+}
 
 /// Offense of the two node pairs touched by a swap (loops count 1,
 /// parallel bundles count size - 1).
@@ -34,25 +74,12 @@ std::size_t PairOffense(const Graph& g, NodeId a, NodeId b, NodeId c,
 
 SimplifyStats SimplifyByRewiring(Graph& g,
                                  std::size_t num_protected_edges, Rng& rng,
+                                 std::size_t threads,
                                  std::size_t max_rounds,
                                  std::size_t attempts_per_edge) {
   SimplifyStats stats;
-  auto count_offending = [&g] {
-    // Exact offense: loops, plus parallel surplus (bundle size - 1 per
-    // distinct node pair).
-    std::size_t loops = 0;
-    std::size_t non_loop_edges = 0;
-    std::set<std::pair<NodeId, NodeId>> distinct;
-    for (const Edge& e : g.edges()) {
-      if (e.u == e.v) {
-        ++loops;
-      } else {
-        ++non_loop_edges;
-        auto key = std::minmax(e.u, e.v);
-        distinct.insert({key.first, key.second});
-      }
-    }
-    return loops + (non_loop_edges - distinct.size());
+  const auto count_offending = [&g, threads] {
+    return CountOffense(g, threads);
   };
   stats.offending_before = count_offending();
   stats.offending_after = stats.offending_before;

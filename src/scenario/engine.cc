@@ -45,24 +45,47 @@ ScenarioCell RunScenarioCell(const std::string& dataset_name,
       aggregate.distances.Add(r.distances);
       aggregate.total_seconds += r.restoration.total_seconds;
       aggregate.rewiring_seconds += r.restoration.rewiring_seconds;
+      const RewireStats& rw = r.restoration.rewire_stats;
+      aggregate.rewire.attempts += static_cast<double>(rw.attempts);
+      aggregate.rewire.accepted += static_cast<double>(rw.accepted);
+      aggregate.rewire.rounds += static_cast<double>(rw.rounds);
+      aggregate.rewire.evaluated += static_cast<double>(rw.evaluated);
+      aggregate.rewire.conflicts += static_cast<double>(rw.conflicts);
+      aggregate.rewire.reevaluated += static_cast<double>(rw.reevaluated);
+      aggregate.rewire.initial_distance += rw.initial_distance;
+      aggregate.rewire.final_distance += rw.final_distance;
     }
   }
   for (auto& [kind, aggregate] : cell.methods) {
     (void)kind;
-    aggregate.total_seconds /= static_cast<double>(trials);
-    aggregate.rewiring_seconds /= static_cast<double>(trials);
+    const double inv = 1.0 / static_cast<double>(trials);
+    aggregate.total_seconds *= inv;
+    aggregate.rewiring_seconds *= inv;
+    aggregate.rewire.attempts *= inv;
+    aggregate.rewire.accepted *= inv;
+    aggregate.rewire.rounds *= inv;
+    aggregate.rewire.evaluated *= inv;
+    aggregate.rewire.conflicts *= inv;
+    aggregate.rewire.reevaluated *= inv;
+    aggregate.rewire.initial_distance *= inv;
+    aggregate.rewire.final_distance *= inv;
   }
   return cell;
 }
 
 ScenarioRunResult RunScenario(const ScenarioSpec& spec,
                               std::size_t threads_override,
-                              std::ostream* progress) {
+                              std::ostream* progress,
+                              std::size_t rewire_threads_override) {
   ScenarioRunResult result;
   result.spec = spec;
   result.threads = ResolveThreadCount(
       threads_override == kThreadsFromSpec ? spec.threads
                                            : threads_override);
+  result.rewire_threads = ResolveThreadCount(
+      rewire_threads_override == kThreadsFromSpec
+          ? spec.rewire_threads
+          : rewire_threads_override);
 
   std::size_t cell_index = 0;
   for (const ScenarioDataset& dataset_spec : spec.datasets) {
@@ -76,10 +99,13 @@ ScenarioRunResult RunScenario(const ScenarioSpec& spec,
       const std::uint64_t cell_seed =
           spec.seed_base +
           static_cast<std::uint64_t>(cell_index) * spec.trials;
+      ExperimentConfig config = spec.ToExperimentConfig(fraction);
+      // The rewire worker count is an execution knob — overriding it (or
+      // resolving 0 to the hardware) must not leak into the spec echo.
+      config.restoration.parallel_rewire.threads = result.rewire_threads;
       ScenarioCell cell = RunScenarioCell(
-          dataset_spec.name, dataset, properties,
-          spec.ToExperimentConfig(fraction), spec.trials, cell_seed,
-          result.threads);
+          dataset_spec.name, dataset, properties, config, spec.trials,
+          cell_seed, result.threads);
       if (progress != nullptr) {
         *progress << "cell " << cell.dataset << " @ " << 100.0 * fraction
                   << "% queried: n = " << cell.nodes << ", m = "
@@ -99,7 +125,8 @@ Json ScenarioReportToJson(const ScenarioRunResult& result) {
     cells.Push(ScenarioCellToJson(cell));
   }
   return MakeReport("sgr run", result.spec.ToJson(), std::move(cells),
-                    CaptureEnvironment(result.threads));
+                    CaptureEnvironment(result.threads,
+                                       result.rewire_threads));
 }
 
 }  // namespace sgr

@@ -44,6 +44,10 @@ ScenarioCell RunScenarioCell(const std::string& dataset_name,
 struct ScenarioRunResult {
   ScenarioSpec spec;
   std::size_t threads = 1;
+  /// Resolved rewire-engine worker count the trials ran with (only
+  /// meaningful when spec.rewire_batch > 0). Volatile: recorded in the
+  /// report's environment block, never in its deterministic content.
+  std::size_t rewire_threads = 1;
   std::vector<ScenarioCell> cells;
 };
 
@@ -61,11 +65,17 @@ struct ScenarioRunResult {
 ///
 /// `threads_override` replaces spec.threads when not kThreadsFromSpec
 /// (the CLI's --threads / $SGR_THREADS plumbing); 0 means hardware
-/// concurrency either way. `progress`, when non-null, receives one line
-/// per completed cell.
-ScenarioRunResult RunScenario(const ScenarioSpec& spec,
-                              std::size_t threads_override = kThreadsFromSpec,
-                              std::ostream* progress = nullptr);
+/// concurrency either way. `rewire_threads_override` does the same for
+/// spec.rewire_threads (the CLI's --rewire-threads /
+/// $SGR_REWIRE_THREADS plumbing) — like the trial thread count it is an
+/// execution knob that never changes the report's deterministic content,
+/// so overriding it leaves the spec echo untouched. `progress`, when
+/// non-null, receives one line per completed cell.
+ScenarioRunResult RunScenario(
+    const ScenarioSpec& spec,
+    std::size_t threads_override = kThreadsFromSpec,
+    std::ostream* progress = nullptr,
+    std::size_t rewire_threads_override = kThreadsFromSpec);
 
 /// Serializes a scenario run as the standard report document
 /// (scenario/report.h): the spec echoed under "config", the environment,

@@ -7,9 +7,11 @@
 
 namespace sgr {
 
-RunEnvironment CaptureEnvironment(std::size_t threads) {
+RunEnvironment CaptureEnvironment(std::size_t threads,
+                                  std::size_t rewire_threads) {
   RunEnvironment environment;
   environment.threads = threads;
+  environment.rewire_threads = rewire_threads;
   environment.hardware_concurrency = std::thread::hardware_concurrency();
 #if defined(__VERSION__)
   environment.compiler = __VERSION__;
@@ -26,6 +28,8 @@ Json EnvironmentToJson(const RunEnvironment& environment) {
   Json json = Json::Object();
   json.Set("threads",
            Json::Number(static_cast<double>(environment.threads)));
+  json.Set("rewire_threads",
+           Json::Number(static_cast<double>(environment.rewire_threads)));
   json.Set("hardware_concurrency",
            Json::Number(
                static_cast<double>(environment.hardware_concurrency)));
@@ -58,6 +62,18 @@ Json ScenarioCellToJson(const ScenarioCell& cell) {
     distances.Set("average", Json::Number(summary.mean_average));
     distances.Set("sd", Json::Number(summary.mean_sd));
     entry.Set("distances", std::move(distances));
+    Json rewire = Json::Object();
+    rewire.Set("attempts", Json::Number(aggregate.rewire.attempts));
+    rewire.Set("accepted", Json::Number(aggregate.rewire.accepted));
+    rewire.Set("rounds", Json::Number(aggregate.rewire.rounds));
+    rewire.Set("evaluated", Json::Number(aggregate.rewire.evaluated));
+    rewire.Set("conflicts", Json::Number(aggregate.rewire.conflicts));
+    rewire.Set("reevaluated", Json::Number(aggregate.rewire.reevaluated));
+    rewire.Set("initial_distance",
+               Json::Number(aggregate.rewire.initial_distance));
+    rewire.Set("final_distance",
+               Json::Number(aggregate.rewire.final_distance));
+    entry.Set("rewire", std::move(rewire));
     Json timings = Json::Object();
     timings.Set("restore_seconds", Json::Number(aggregate.total_seconds));
     timings.Set("rewiring_seconds",

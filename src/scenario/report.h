@@ -11,6 +11,23 @@
 
 namespace sgr {
 
+/// Mean rewiring-phase statistics of one cell's trials (attempt /
+/// acceptance counters and the objective trajectory, plus the batched
+/// engine's round accounting). All values are deterministic functions of
+/// (spec, seed) — they are emitted under the report's "rewire" keys, NOT
+/// under "timings", so they are part of the determinism contract
+/// StripVolatile preserves.
+struct RewireAggregate {
+  double attempts = 0.0;
+  double accepted = 0.0;
+  double rounds = 0.0;
+  double evaluated = 0.0;
+  double conflicts = 0.0;
+  double reevaluated = 0.0;
+  double initial_distance = 0.0;
+  double final_distance = 0.0;
+};
+
 /// Aggregate of one (dataset, fraction, method) cell across trials:
 /// distance statistics plus mean generation timings. Shared by the
 /// scenario engine and the benches (bench_common.h used to own this
@@ -19,6 +36,7 @@ struct MethodAggregate {
   DistanceAccumulator distances;
   double total_seconds = 0.0;     ///< mean restoration seconds per trial
   double rewiring_seconds = 0.0;  ///< mean rewiring seconds per trial
+  RewireAggregate rewire;         ///< mean rewiring stats per trial
 };
 
 /// One cell of a scenario matrix: a dataset at one query fraction, with
@@ -42,14 +60,18 @@ struct ScenarioCell {
 /// StripVolatile together with the "timings" objects.
 struct RunEnvironment {
   std::size_t threads = 1;               ///< resolved worker thread count
+  std::size_t rewire_threads = 1;        ///< resolved rewire-engine workers
   std::size_t hardware_concurrency = 0;
   std::string compiler;                  ///< __VERSION__
   std::string build;                     ///< "Release" / "Debug" (NDEBUG)
 };
 
 /// Captures the current process environment; `threads` is the resolved
-/// worker count the caller is about to run with.
-RunEnvironment CaptureEnvironment(std::size_t threads);
+/// worker count the caller is about to run with, `rewire_threads` the
+/// resolved intra-trial rewiring worker count (defaults to 1, the
+/// sequential engine).
+RunEnvironment CaptureEnvironment(std::size_t threads,
+                                  std::size_t rewire_threads = 1);
 
 Json EnvironmentToJson(const RunEnvironment& environment);
 
@@ -59,11 +81,17 @@ Json EnvironmentToJson(const RunEnvironment& environment);
 ///    "methods": [{"method": "Proposed",
 ///                 "distances": {"per_property": {"n": ..., ...12...},
 ///                               "average": ..., "sd": ...},
+///                 "rewire": {"attempts": ..., "accepted": ...,
+///                            "rounds": ..., "evaluated": ...,
+///                            "conflicts": ..., "reevaluated": ...,
+///                            "initial_distance": ...,
+///                            "final_distance": ...},
 ///                 "timings": {"restore_seconds": ...,
 ///                             "rewiring_seconds": ...}}, ...],
 ///    "timings": {"wall_seconds": ...}}
 /// All timing data sits under "timings" keys so StripVolatile can remove
-/// it mechanically.
+/// it mechanically; the "rewire" block is deterministic content and
+/// survives the strip (the subgraph-sampling methods report all zeros).
 Json ScenarioCellToJson(const ScenarioCell& cell);
 
 /// Assembles the top-level report document shared by `sgr run` and the

@@ -276,6 +276,11 @@ ScenarioSpec ScenarioSpec::FromJson(const Json& json) {
     } else if (key == "rc") {
       spec.rc = RequireNumber(value, key);
       if (spec.rc < 0.0) throw ScenarioError("'rc' must be >= 0");
+    } else if (key == "rewire_batch") {
+      spec.rewire_batch = static_cast<std::size_t>(RequireUint(value, key));
+    } else if (key == "rewire_threads") {
+      spec.rewire_threads =
+          static_cast<std::size_t>(RequireUint(value, key));
     } else if (key == "path_sources") {
       spec.path_sources = static_cast<std::size_t>(RequireUint(value, key));
     } else if (key == "snowball_k") {
@@ -345,6 +350,9 @@ Json ScenarioSpec::ToJson() const {
   json.Set("threads", Json::Number(static_cast<double>(threads)));
   json.Set("seed_base", Json::Number(static_cast<double>(seed_base)));
   json.Set("rc", Json::Number(rc));
+  json.Set("rewire_batch", Json::Number(static_cast<double>(rewire_batch)));
+  json.Set("rewire_threads",
+           Json::Number(static_cast<double>(rewire_threads)));
   json.Set("path_sources", Json::Number(static_cast<double>(path_sources)));
   json.Set("snowball_k", Json::Number(static_cast<double>(snowball_k)));
   json.Set("forest_fire_pf", Json::Number(forest_fire_pf));
@@ -360,6 +368,8 @@ ExperimentConfig ScenarioSpec::ToExperimentConfig(double fraction) const {
   config.snowball_k = snowball_k;
   config.forest_fire_pf = forest_fire_pf;
   config.restoration.rewire.rewiring_coefficient = rc;
+  config.restoration.parallel_rewire.batch_size = rewire_batch;
+  config.restoration.parallel_rewire.threads = rewire_threads;
   config.restoration.simplify_output = simplify_output;
   config.property_options.max_path_sources = path_sources;
   // Trial-level parallelism is the engine's scaling axis; per-trial

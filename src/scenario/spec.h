@@ -69,6 +69,17 @@ struct ScenarioSpec {
   std::size_t threads = 1;        ///< 0 = hardware concurrency
   std::uint64_t seed_base = 0x5EED;
   double rc = 500.0;              ///< rewiring coefficient (paper: 500)
+  /// Batched speculative rewiring (restore/rewirer.h): 0 = the classic
+  /// sequential attempt loop, nonzero = proposals per round of
+  /// RewireToClusteringParallel. An algorithm knob — changing it changes
+  /// the (equally valid) rewiring trajectory, so it lives in the spec and
+  /// is echoed in reports.
+  std::size_t rewire_batch = 0;
+  /// Worker threads of the batched rewiring engine inside each trial
+  /// (0 = hardware concurrency). Execution knob only: reports are
+  /// byte-identical for every value (and the CLI can override it per run
+  /// without touching the spec).
+  std::size_t rewire_threads = 1;
   std::size_t path_sources = 0;   ///< 0 = exact all-pairs evaluation
   std::size_t snowball_k = 50;
   double forest_fire_pf = 0.7;

@@ -116,7 +116,7 @@ TEST(SimplifyTest, OffenseNeverIncreases) {
     g.AddEdge(v, v);
   }
   Rng rng(13);
-  const SimplifyStats stats = SimplifyByRewiring(g, 0, rng, 3, 8);
+  const SimplifyStats stats = SimplifyByRewiring(g, 0, rng, /*threads=*/1, 3, 8);
   EXPECT_LE(stats.offending_after, stats.offending_before);
 }
 

@@ -25,15 +25,20 @@
 //       Print the per-property normalized L1 distances.
 //
 //   sgr run scenario.json --out results.json [--threads N]
+//           [--rewire-threads N]
 //   sgr run tables-smoke --out results.json
 //       Execute a declarative scenario — a {dataset x crawler x budget x
 //       method} matrix described by one JSON file or a built-in name —
 //       through the parallel trial engine, and write a structured JSON
 //       report (per-cell wall-clock timings, the 12-property L1
-//       distances, and the run environment). --threads (or SGR_THREADS;
-//       0 = hardware concurrency) overrides the scenario's own thread
-//       count; the report's non-timing content is identical for every
-//       value. Without --out the report goes to stdout.
+//       distances, per-method rewiring statistics, and the run
+//       environment). --threads (or SGR_THREADS; 0 = hardware
+//       concurrency) overrides the scenario's own trial thread count;
+//       --rewire-threads (or SGR_REWIRE_THREADS) overrides its
+//       intra-trial rewiring worker count (used when the spec sets
+//       "rewire_batch" > 0). The report's non-timing content is
+//       identical for every value of either knob. Without --out the
+//       report goes to stdout.
 //
 //   sgr scenarios list
 //   sgr scenarios show tables-smoke
@@ -300,12 +305,27 @@ int CmdRun(const std::string& source, const Args& args) {
   if (args.Has("threads")) {
     threads = static_cast<std::size_t>(args.GetUint("threads", 1));
   }
+  // Same precedence for the intra-trial rewiring workers (only active
+  // when the spec enables the batched engine via "rewire_batch").
+  std::size_t rewire_threads = static_cast<std::size_t>(EnvOr(
+      "SGR_REWIRE_THREADS", static_cast<double>(spec.rewire_threads)));
+  if (args.Has("rewire-threads")) {
+    rewire_threads =
+        static_cast<std::size_t>(args.GetUint("rewire-threads", 1));
+  }
 
   std::cerr << "scenario '" << spec.name << "': " << spec.datasets.size()
             << " dataset(s) x " << spec.fractions.size()
             << " fraction(s), " << spec.trials << " trials, threads = "
-            << ResolveThreadCount(threads) << "\n";
-  const ScenarioRunResult result = RunScenario(spec, threads, &std::cerr);
+            << ResolveThreadCount(threads);
+  if (spec.rewire_batch > 0) {
+    std::cerr << ", rewire batch = " << spec.rewire_batch
+              << " on " << ResolveThreadCount(rewire_threads)
+              << " thread(s)";
+  }
+  std::cerr << "\n";
+  const ScenarioRunResult result =
+      RunScenario(spec, threads, &std::cerr, rewire_threads);
   const Json report = ScenarioReportToJson(result);
   if (args.Has("out")) {
     const std::string path = args.Get("out");
@@ -360,6 +380,8 @@ void PrintUsage() {
       "  compare   --original FILE --generated FILE [--sources N]\n"
       "  run       SCENARIO(.json file or built-in name) [--out FILE]\n"
       "            [--threads N]   (or SGR_THREADS; 0 = all cores)\n"
+      "            [--rewire-threads N]   (or SGR_REWIRE_THREADS; used\n"
+      "            when the spec sets rewire_batch > 0)\n"
       "  scenarios list | show NAME\n";
 }
 
@@ -376,7 +398,7 @@ int main(int argc, char** argv) {
       if (argc < 3 || argv[2][0] == '-') {
         throw std::runtime_error(
             "usage: sgr run <scenario.json | built-in name> [--out FILE] "
-            "[--threads N]");
+            "[--threads N] [--rewire-threads N]");
       }
       return CmdRun(argv[2], Args(argc, argv, 3));
     }
