@@ -1,121 +1,21 @@
 // Ablation: the hybrid joint-degree-distribution estimator (Section III-E)
-// versus its two pure components.
+// versus its two pure components, end to end.
 //
-// The hybrid uses induced edges (IE) for high-degree pairs — where far-apart
-// walk positions supply many adjacency observations — and traversed edges
-// (TE) for low-degree pairs — where the walk itself samples edges without
-// needing collisions. The ablation quantifies the L1 distance between each
-// estimate and the true joint degree distribution, confirming the design
-// choice the paper inherits from Gjoka et al.
+// The hybrid uses induced edges (IE) for high-degree pairs — where
+// far-apart walk positions supply many adjacency observations — and
+// traversed edges (TE) for low-degree pairs — where the walk itself
+// samples edges without needing collisions. The workload is the
+// `ablation-jdm` built-in scenario: the estimator axis sweeps
+// {hybrid, ie, te} through the full proposed pipeline, so the quality of
+// each P̂(k,k') variant shows up in the restored graph's 12-property
+// distances (the quantity the paper ultimately cares about).
 //
-// Env knobs: SGR_RUNS (default 5), SGR_FRACTION (default 0.10),
-// SGR_DATASET_SCALE. `--json PATH` records one report cell per dataset
-// (metrics: hybrid/IE/TE joint-distribution L1).
-
-#include <cmath>
+// This binary is a pre-named `sgr run ablation-jdm`: `--json PATH` writes
+// a report byte-identical to `sgr run ablation-jdm --out PATH`. Flags:
+// --threads N, --json PATH.
 
 #include "bench_common.h"
-#include "dk/dk_extract.h"
-#include "estimation/estimators.h"
-#include "sampling/random_walk.h"
-
-namespace {
-
-using namespace sgr;
-
-/// L1 distance between the estimated P̂(k,k') and the true P(k,k')
-/// (Eq. (3)), over ordered pairs, normalized by the total true mass (= 1).
-double JointDistL1(const Graph& g, const SparseJointDist& estimate) {
-  const JointDegreeMatrix true_jdm = ExtractJointDegreeMatrix(g);
-  const double two_m = 2.0 * static_cast<double>(g.NumEdges());
-  double l1 = 0.0;
-  // Terms where the truth has mass.
-  for (const auto& [key, count] : true_jdm.counts()) {
-    const auto k = static_cast<std::uint32_t>(key >> 32);
-    const auto kp = static_cast<std::uint32_t>(key & 0xffffffffu);
-    const double mu = (k == kp) ? 2.0 : 1.0;
-    const double truth = mu * static_cast<double>(count) / two_m;
-    l1 += std::abs(estimate.At(k, kp) - truth);
-  }
-  // Terms where only the estimate has mass.
-  for (const auto& [key, value] : estimate.values()) {
-    const auto k = static_cast<std::uint32_t>(key >> 32);
-    const auto kp = static_cast<std::uint32_t>(key & 0xffffffffu);
-    if (true_jdm.At(k, kp) == 0) l1 += std::abs(value);
-  }
-  return l1;
-}
-
-}  // namespace
 
 int main(int argc, char** argv) {
-  using namespace sgr::bench;
-
-  const BenchConfig config =
-      BenchConfig::FromArgs(argc, argv, /*default_runs=*/5,
-                            /*default_rc=*/0.0);
-  std::cout << "=== Ablation: joint-degree estimator (hybrid vs IE vs TE), "
-            << 100.0 * config.fraction << "% queried ===\n"
-            << "runs: " << config.runs << ", threads = "
-            << ResolveThreadCount(config.threads) << "\n\n";
-
-  BenchJsonReport report("bench_ablation_jdm", config);
-  TablePrinter table(std::cout,
-                     {"Dataset", "Hybrid", "IE only", "TE only"});
-  for (const DatasetSpec& spec : StandardDatasets()) {
-    const Graph dataset = LoadDataset(spec);
-    const CsrGraph snapshot(dataset);
-    const auto budget = static_cast<std::size_t>(
-        config.fraction * static_cast<double>(dataset.NumNodes()));
-    // One row of per-run results per variant; runs execute concurrently
-    // against the shared snapshot and are reduced in run order, so the
-    // table is identical for every --threads value.
-    struct RunResult {
-      double hybrid = 0.0;
-      double ie = 0.0;
-      double te = 0.0;
-    };
-    std::vector<RunResult> per_run(config.runs);
-    ParallelFor(config.runs, config.threads, [&](std::size_t run) {
-      QueryOracle oracle(snapshot);
-      Rng rng(0xAB1A + run);
-      const SamplingList walk = RandomWalkSample(
-          oracle, static_cast<NodeId>(rng.NextIndex(dataset.NumNodes())),
-          budget, rng);
-      EstimatorOptions options;
-      options.joint_mode = JointEstimatorMode::kHybrid;
-      per_run[run].hybrid = JointDistL1(
-          dataset, EstimateLocalProperties(walk, options).joint_dist);
-      options.joint_mode = JointEstimatorMode::kInducedEdgesOnly;
-      per_run[run].ie = JointDistL1(
-          dataset, EstimateLocalProperties(walk, options).joint_dist);
-      options.joint_mode = JointEstimatorMode::kTraversedEdgesOnly;
-      per_run[run].te = JointDistL1(
-          dataset, EstimateLocalProperties(walk, options).joint_dist);
-    });
-    double l1_hybrid = 0.0;
-    double l1_ie = 0.0;
-    double l1_te = 0.0;
-    for (const RunResult& r : per_run) {
-      l1_hybrid += r.hybrid;
-      l1_ie += r.ie;
-      l1_te += r.te;
-    }
-    const double inv = 1.0 / static_cast<double>(config.runs);
-    table.AddRow({spec.name, TablePrinter::Fixed(l1_hybrid * inv),
-                  TablePrinter::Fixed(l1_ie * inv),
-                  TablePrinter::Fixed(l1_te * inv)});
-    Json cell = CustomCell(spec, dataset);
-    Json metrics = Json::Object();
-    metrics.Set("hybrid_l1", Json::Number(l1_hybrid * inv));
-    metrics.Set("ie_l1", Json::Number(l1_ie * inv));
-    metrics.Set("te_l1", Json::Number(l1_te * inv));
-    cell.Set("metrics", std::move(metrics));
-    report.Add(std::move(cell));
-  }
-  table.Print();
-  report.WriteIfRequested();
-  std::cout << "\nexpected shape: the hybrid column is at or below the "
-               "better of the two pure columns on most datasets.\n";
-  return 0;
+  return sgr::bench::RunBuiltinScenarioBench("ablation-jdm", argc, argv);
 }

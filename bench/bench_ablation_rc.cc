@@ -1,100 +1,17 @@
 // Ablation: the rewiring budget RC (Section IV-E / V-E). The paper sets
 // RC = 500 following Orsini et al. and notes that decreasing RC cuts the
 // rewiring time but also the reproducibility of the clustering
-// coefficients. This bench sweeps RC on one dataset and reports the final
-// clustering L1 objective and the rewiring time.
+// coefficients. The workload is the `ablation-rc` built-in scenario: the
+// rc axis sweeps {0, 10, 50, 100, 250, 500} on the Brightkite stand-in;
+// the per-cell "final D" column (and the report's "rewire" stats block)
+// carries the objective trajectory, the "rewire s" column the cost.
 //
-// Env knobs: SGR_RUNS (default 2), SGR_FRACTION, SGR_DATASET_SCALE,
-// SGR_DATASET (default "brightkite"). `--json PATH` records one report
-// cell per RC value (metrics: initial/final D, accept rate; timings:
-// rewiring seconds).
-
-#include <cstdlib>
+// This binary is a pre-named `sgr run ablation-rc`: `--json PATH` writes
+// a report byte-identical to `sgr run ablation-rc --out PATH`. Flags:
+// --threads N (read timings at 1), --json PATH.
 
 #include "bench_common.h"
-#include "restore/proposed.h"
-#include "sampling/random_walk.h"
 
 int main(int argc, char** argv) {
-  using namespace sgr;
-  using namespace sgr::bench;
-
-  const BenchConfig config =
-      BenchConfig::FromArgs(argc, argv, /*default_runs=*/2,
-                            /*default_rc=*/0.0);
-  const char* ds_env = std::getenv("SGR_DATASET");
-  const DatasetSpec spec =
-      DatasetByName(ds_env != nullptr ? ds_env : "brightkite");
-  const Graph dataset = LoadDataset(spec);
-  const CsrGraph snapshot(dataset);
-  std::cout << "=== Ablation: rewiring budget RC sweep ===\n";
-  PrintDatasetBanner(spec, dataset);
-  std::cout << "runs: " << config.runs << ", fraction: " << config.fraction
-            << ", threads = " << ResolveThreadCount(config.threads)
-            << "\n\n";
-
-  BenchJsonReport report("bench_ablation_rc", config);
-  TablePrinter table(std::cout, {"RC", "initial D", "final D",
-                                 "accept rate", "rewiring sec"});
-  for (double rc : {0.0, 10.0, 50.0, 100.0, 250.0, 500.0}) {
-    struct RunResult {
-      double d0 = 0.0;
-      double d1 = 0.0;
-      double accept = 0.0;
-      double seconds = 0.0;
-    };
-    std::vector<RunResult> per_run(config.runs);
-    ParallelFor(config.runs, config.threads, [&](std::size_t run) {
-      QueryOracle oracle(snapshot);
-      Rng rng(0xAB3A + run);
-      const auto budget = static_cast<std::size_t>(
-          config.fraction * static_cast<double>(dataset.NumNodes()));
-      const SamplingList walk = RandomWalkSample(
-          oracle, static_cast<NodeId>(rng.NextIndex(dataset.NumNodes())),
-          budget, rng);
-      RestorationOptions options;
-      options.rewire.rewiring_coefficient = rc;
-      const RestorationResult r = RestoreProposed(walk, options, rng);
-      per_run[run].d0 = r.rewire_stats.initial_distance;
-      per_run[run].d1 = r.rewire_stats.final_distance;
-      if (r.rewire_stats.attempts > 0) {
-        per_run[run].accept =
-            static_cast<double>(r.rewire_stats.accepted) /
-            static_cast<double>(r.rewire_stats.attempts);
-      }
-      per_run[run].seconds = r.rewiring_seconds;
-    });
-    double d0 = 0.0;
-    double d1 = 0.0;
-    double accept = 0.0;
-    double seconds = 0.0;
-    for (const RunResult& r : per_run) {
-      d0 += r.d0;
-      d1 += r.d1;
-      accept += r.accept;
-      seconds += r.seconds;
-    }
-    const double inv = 1.0 / static_cast<double>(config.runs);
-    table.AddRow({TablePrinter::Fixed(rc, 0), TablePrinter::Fixed(d0 * inv),
-                  TablePrinter::Fixed(d1 * inv),
-                  TablePrinter::Fixed(accept * inv, 4),
-                  TablePrinter::Fixed(seconds * inv, 2)});
-    Json cell = CustomCell(spec, dataset);
-    cell.Set("rc", Json::Number(rc));
-    Json metrics = Json::Object();
-    metrics.Set("initial_d", Json::Number(d0 * inv));
-    metrics.Set("final_d", Json::Number(d1 * inv));
-    metrics.Set("accept_rate", Json::Number(accept * inv));
-    cell.Set("metrics", std::move(metrics));
-    Json timings = Json::Object();
-    timings.Set("rewiring_seconds", Json::Number(seconds * inv));
-    cell.Set("timings", std::move(timings));
-    report.Add(std::move(cell));
-  }
-  table.Print();
-  report.WriteIfRequested();
-  std::cout << "\nexpected shape: final D decreases monotonically with RC "
-               "while rewiring time grows linearly — the accuracy/time "
-               "trade-off the paper describes.\n";
-  return 0;
+  return sgr::bench::RunBuiltinScenarioBench("ablation-rc", argc, argv);
 }

@@ -1,163 +1,24 @@
 // Ablation: rewiring candidate set E~ \ E' (proposed, Section IV-E) versus
 // all edges E~ (Gjoka et al.'s choice), holding everything else fixed.
 //
-// Both variants start from the *same* assembled graph (subgraph + added
-// nodes/edges, Algorithm 5) and rewire toward the same estimated ĉ̄(k) with
-// the same RC. The paper claims excluding E' (i) improves the odds that
-// rewiring approaches ĉ̄(k) and (ii) cuts the rewiring time; both are
-// measured here, together with whether the subgraph survives.
+// The paper claims excluding E' (i) improves the odds that rewiring
+// approaches ĉ̄(k) and (ii) cuts the rewiring time. The workload is the
+// `ablation-rewire` built-in scenario: the protect_subgraph axis sweeps
+// {true, false} through the full proposed pipeline, so each dataset gets
+// adjacent protected/unprotected cells (each cell draws its own seed
+// base per the engine's seeding contract; the trial averages carry the
+// comparison) — compare the "final D" / "rewire s" columns across the
+// pair (and the 12-property distances for the ground-truth effect of
+// sacrificing subgraph edges: the unprotected variant drives D — the
+// distance to the noisy *estimate* — lower while its distance to the
+// original grows).
 //
-// Env knobs: SGR_RUNS (default 2), SGR_RC (default 200), SGR_FRACTION,
-// SGR_DATASET_SCALE. `--json PATH` records one report cell per dataset
-// (metrics: final D and c(k) distance per variant, subgraph survival;
-// timings: rewiring seconds per variant).
+// This binary is a pre-named `sgr run ablation-rewire`: `--json PATH`
+// writes a report byte-identical to `sgr run ablation-rewire --out PATH`.
+// Flags: --threads N (read timings at 1), --json PATH.
 
-#include "analysis/l1.h"
 #include "bench_common.h"
-#include "dk/dk_construct.h"
-#include "dk/dk_extract.h"
-#include "estimation/estimators.h"
-#include "restore/rewirer.h"
-#include "restore/target_degree_vector.h"
-#include "restore/target_jdm.h"
-#include "sampling/random_walk.h"
-#include "sampling/subgraph.h"
 
 int main(int argc, char** argv) {
-  using namespace sgr;
-  using namespace sgr::bench;
-
-  const BenchConfig config =
-      BenchConfig::FromArgs(argc, argv, /*default_runs=*/2,
-                            /*default_rc=*/200.0);
-  std::cout << "=== Ablation: rewiring candidate set (protect E' vs all "
-               "edges), "
-            << 100.0 * config.fraction << "% queried, RC = " << config.rc
-            << ", threads = " << ResolveThreadCount(config.threads)
-            << " ===\n\n";
-
-  BenchJsonReport report("bench_ablation_rewire", config);
-  TablePrinter table(std::cout,
-                     {"Dataset", "protected: final D", "all: final D",
-                      "protected: c(k) vs orig", "all: c(k) vs orig",
-                      "protected: sec", "all: sec",
-                      "subgraph intact (protected/all)"});
-  for (const DatasetSpec& spec : StandardDatasets()) {
-    const Graph dataset = LoadDataset(spec);
-    const CsrGraph snapshot(dataset);
-    const std::vector<double> true_clustering =
-        ExtractDegreeDependentClustering(snapshot);
-    struct RunResult {
-      double d_protected = 0.0;
-      double d_all = 0.0;
-      double c_protected = 0.0;
-      double c_all = 0.0;
-      double sec_protected = 0.0;
-      double sec_all = 0.0;
-      bool intact_protected = true;
-      bool intact_all = true;
-    };
-    std::vector<RunResult> per_run(config.runs);
-    ParallelFor(config.runs, config.threads, [&](std::size_t run) {
-      RunResult& out = per_run[run];
-      QueryOracle oracle(snapshot);
-      Rng rng(0xAB2A + run);
-      const auto budget = static_cast<std::size_t>(
-          config.fraction * static_cast<double>(dataset.NumNodes()));
-      const SamplingList walk = RandomWalkSample(
-          oracle, static_cast<NodeId>(rng.NextIndex(dataset.NumNodes())),
-          budget, rng);
-      const Subgraph sub = BuildSubgraph(walk);
-      const LocalEstimates est = EstimateLocalProperties(walk);
-      TargetDegreeVectorResult dv = BuildTargetDegreeVector(sub, est, rng);
-      const JointDegreeMatrix m_prime =
-          SubgraphClassEdges(sub.graph, dv.subgraph_target_degrees);
-      const JointDegreeMatrix m_star =
-          BuildTargetJdm(est, dv.n_star, m_prime, rng);
-      const Graph assembled = ConstructPreservingTargets(
-          sub.graph, dv.subgraph_target_degrees, dv.n_star, m_star, rng);
-
-      RewireOptions options;
-      options.rewiring_coefficient = config.rc;
-
-      auto run_variant = [&](std::size_t protected_edges, double& d_out,
-                             double& c_out, double& sec_out,
-                             bool& intact_out) {
-        Graph g = assembled;
-        Rng rewire_rng(0xAB2B + run);
-        Timer timer;
-        const RewireStats stats = RewireToClustering(
-            g, protected_edges, est.clustering, options, rewire_rng);
-        sec_out += timer.Seconds();
-        d_out += stats.final_distance;
-        // The quantity that matters downstream: distance to the TRUE
-        // degree-dependent clustering (the rewiring objective only sees
-        // the noisy estimate and can overfit it).
-        c_out += NormalizedL1(true_clustering,
-                              ExtractDegreeDependentClustering(g));
-        for (EdgeId e = 0; e < sub.graph.NumEdges(); ++e) {
-          if (g.edge(e).u != sub.graph.edge(e).u ||
-              g.edge(e).v != sub.graph.edge(e).v) {
-            intact_out = false;
-            break;
-          }
-        }
-      };
-      run_variant(sub.graph.NumEdges(), out.d_protected, out.c_protected,
-                  out.sec_protected, out.intact_protected);
-      run_variant(0, out.d_all, out.c_all, out.sec_all, out.intact_all);
-    });
-    double d_protected = 0.0;
-    double d_all = 0.0;
-    double c_protected = 0.0;
-    double c_all = 0.0;
-    double sec_protected = 0.0;
-    double sec_all = 0.0;
-    bool intact_protected = true;
-    bool intact_all = true;
-    for (const RunResult& r : per_run) {
-      d_protected += r.d_protected;
-      d_all += r.d_all;
-      c_protected += r.c_protected;
-      c_all += r.c_all;
-      sec_protected += r.sec_protected;
-      sec_all += r.sec_all;
-      intact_protected = intact_protected && r.intact_protected;
-      intact_all = intact_all && r.intact_all;
-    }
-    const double inv = 1.0 / static_cast<double>(config.runs);
-    table.AddRow({spec.name, TablePrinter::Fixed(d_protected * inv),
-                  TablePrinter::Fixed(d_all * inv),
-                  TablePrinter::Fixed(c_protected * inv),
-                  TablePrinter::Fixed(c_all * inv),
-                  TablePrinter::Fixed(sec_protected * inv, 2),
-                  TablePrinter::Fixed(sec_all * inv, 2),
-                  std::string(intact_protected ? "yes" : "NO") + "/" +
-                      (intact_all ? "yes" : "no")});
-    Json cell = CustomCell(spec, dataset);
-    Json metrics = Json::Object();
-    metrics.Set("protected_final_d", Json::Number(d_protected * inv));
-    metrics.Set("all_final_d", Json::Number(d_all * inv));
-    metrics.Set("protected_ck_vs_original",
-                Json::Number(c_protected * inv));
-    metrics.Set("all_ck_vs_original", Json::Number(c_all * inv));
-    metrics.Set("protected_subgraph_intact", Json::Bool(intact_protected));
-    metrics.Set("all_subgraph_intact", Json::Bool(intact_all));
-    cell.Set("metrics", std::move(metrics));
-    Json timings = Json::Object();
-    timings.Set("protected_rewiring_seconds",
-                Json::Number(sec_protected * inv));
-    timings.Set("all_rewiring_seconds", Json::Number(sec_all * inv));
-    cell.Set("timings", std::move(timings));
-    report.Add(std::move(cell));
-  }
-  table.Print();
-  report.WriteIfRequested();
-  std::cout << "\nexpected shape: the protected variant is faster (fewer "
-               "candidates) and keeps the subgraph intact, while the "
-               "all-edges variant destroys subgraph edges and can drive D "
-               "(distance to the noisy *estimate*) lower by sacrificing "
-               "them — compare the c(k)-vs-original columns for the "
-               "ground-truth effect.\n";
-  return 0;
+  return sgr::bench::RunBuiltinScenarioBench("ablation-rewire", argc, argv);
 }

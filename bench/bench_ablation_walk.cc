@@ -2,114 +2,20 @@
 //
 // Section II of the paper notes that improved walks (Lee et al.'s NBRW
 // among them) could be combined with the proposed method, "while it is not
-// trivial". This bench performs the combination: the NBRW sample feeds the
-// same subgraph-construction and target-building pipeline, with the
-// clustering estimator's normalizer corrected for the non-backtracking
-// conditional law (WalkType::kNonBacktracking). Reported per dataset:
-// walk length needed for the query budget (NBRW's query efficiency) and
-// the end-to-end average L1 of the restored graph.
+// trivial". The workload is the `ablation-walk` built-in scenario: the
+// walk axis sweeps {simple, non-backtracking} through the full proposed
+// pipeline, with the clustering estimator's normalizer corrected for the
+// non-backtracking conditional law by the runner (WalkKind). The "steps"
+// column carries NBRW's query efficiency (fewer walk steps for the same
+// query budget); the distances carry the restoration-accuracy comparison.
 //
-// Env knobs: SGR_RUNS (default 3), SGR_RC (default 100), SGR_FRACTION,
-// SGR_PATH_SOURCES, SGR_DATASET_SCALE. `--json PATH` records one report
-// cell per dataset (metrics: SRW/NBRW walk steps and average L1).
+// This binary is a pre-named `sgr run ablation-walk`: `--json PATH`
+// writes a report byte-identical to `sgr run ablation-walk --out PATH`.
+// Flags: --threads N, --json PATH (the spec itself pins every workload
+// knob, including dataset_scale).
 
 #include "bench_common.h"
-#include "estimation/estimators.h"
-#include "restore/proposed.h"
-#include "sampling/non_backtracking.h"
-#include "sampling/random_walk.h"
 
 int main(int argc, char** argv) {
-  using namespace sgr;
-  using namespace sgr::bench;
-
-  const BenchConfig config =
-      BenchConfig::FromArgs(argc, argv, /*default_runs=*/3,
-                            /*default_rc=*/100.0);
-  std::cout << "=== Ablation: simple walk vs non-backtracking walk, "
-            << 100.0 * config.fraction << "% queried ===\n"
-            << "runs: " << config.runs << ", RC = " << config.rc
-            << ", threads = " << ResolveThreadCount(config.threads)
-            << "\n\n";
-
-  BenchJsonReport report("bench_ablation_walk", config);
-  TablePrinter table(std::cout,
-                     {"Dataset", "SRW steps", "NBRW steps", "SRW avg L1",
-                      "NBRW avg L1"});
-  for (const DatasetSpec& spec : StandardDatasets()) {
-    const Graph dataset = LoadDataset(spec);
-    const CsrGraph snapshot(dataset);
-    PropertyOptions prop_options;
-    prop_options.max_path_sources = config.path_sources;
-    prop_options.threads = 1;  // trial-level parallelism only
-    const GraphProperties properties =
-        ComputeProperties(snapshot, prop_options);
-    const auto budget = static_cast<std::size_t>(
-        config.fraction * static_cast<double>(dataset.NumNodes()));
-
-    struct RunResult {
-      double srw_steps = 0.0;
-      double nbrw_steps = 0.0;
-      double srw_l1 = 0.0;
-      double nbrw_l1 = 0.0;
-    };
-    std::vector<RunResult> per_run(config.runs);
-    ParallelFor(config.runs, config.threads, [&](std::size_t run) {
-      Rng rng(0xAB4A + run);
-      const NodeId seed =
-          static_cast<NodeId>(rng.NextIndex(dataset.NumNodes()));
-      RestorationOptions options;
-      options.rewire.rewiring_coefficient = config.rc;
-      {
-        QueryOracle oracle(snapshot);
-        const SamplingList walk =
-            RandomWalkSample(oracle, seed, budget, rng);
-        per_run[run].srw_steps = static_cast<double>(walk.Length());
-        const RestorationResult r = RestoreProposed(walk, options, rng);
-        per_run[run].srw_l1 = AverageDistance(PropertyDistances(
-            properties, ComputeProperties(r.graph, prop_options)));
-      }
-      {
-        QueryOracle oracle(snapshot);
-        const SamplingList walk =
-            NonBacktrackingWalkSample(oracle, seed, budget, rng);
-        per_run[run].nbrw_steps = static_cast<double>(walk.Length());
-        // Same pipeline, with the NBRW-corrected clustering estimator.
-        RestorationOptions nbrw_options = options;
-        nbrw_options.estimator.walk_type = WalkType::kNonBacktracking;
-        const RestorationResult r =
-            RestoreProposed(walk, nbrw_options, rng);
-        per_run[run].nbrw_l1 = AverageDistance(PropertyDistances(
-            properties, ComputeProperties(r.graph, prop_options)));
-      }
-    });
-    double srw_steps = 0.0;
-    double nbrw_steps = 0.0;
-    double srw_l1 = 0.0;
-    double nbrw_l1 = 0.0;
-    for (const RunResult& r : per_run) {
-      srw_steps += r.srw_steps;
-      nbrw_steps += r.nbrw_steps;
-      srw_l1 += r.srw_l1;
-      nbrw_l1 += r.nbrw_l1;
-    }
-    const double inv = 1.0 / static_cast<double>(config.runs);
-    table.AddRow({spec.name, TablePrinter::Fixed(srw_steps * inv, 0),
-                  TablePrinter::Fixed(nbrw_steps * inv, 0),
-                  TablePrinter::Fixed(srw_l1 * inv),
-                  TablePrinter::Fixed(nbrw_l1 * inv)});
-    Json cell = CustomCell(spec, dataset);
-    Json metrics = Json::Object();
-    metrics.Set("srw_steps", Json::Number(srw_steps * inv));
-    metrics.Set("nbrw_steps", Json::Number(nbrw_steps * inv));
-    metrics.Set("srw_avg_l1", Json::Number(srw_l1 * inv));
-    metrics.Set("nbrw_avg_l1", Json::Number(nbrw_l1 * inv));
-    cell.Set("metrics", std::move(metrics));
-    report.Add(std::move(cell));
-  }
-  table.Print();
-  report.WriteIfRequested();
-  std::cout << "\nexpected shape: NBRW needs fewer walk steps for the same "
-               "query budget; restoration accuracy is comparable.\n";
-  return 0;
+  return sgr::bench::RunBuiltinScenarioBench("ablation-walk", argc, argv);
 }

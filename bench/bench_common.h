@@ -210,6 +210,75 @@ inline void PrintDatasetBanner(const DatasetSpec& spec, const Graph& g) {
             << spec.paper_nodes << ", m = " << spec.paper_edges << ")\n";
 }
 
+/// Runs a built-in scenario as a bench binary: the workload definition
+/// lives entirely in the spec (scenario/spec.cc), execution goes through
+/// RunScenario, and `--json PATH` writes ScenarioReportToJson — the very
+/// function `sgr run <name> --out PATH` calls — so the two files are
+/// byte-identical (including after StripVolatile). This is what retired
+/// the ablation benches' bespoke C++ loops: a bench binary is now a
+/// pre-named `sgr run` plus a human-readable table.
+///
+/// Flags: `--threads N` (beats $SGR_THREADS beats the spec; 0 = all
+/// cores) and `--json PATH`. The historical per-bench env knobs are gone
+/// on purpose — a knob that changed the workload without changing the
+/// spec echo would break the report's attributability.
+inline int RunBuiltinScenarioBench(const std::string& name, int argc,
+                                   char** argv) {
+  const ScenarioSpec spec = BuiltinScenario(name);
+  std::size_t threads = static_cast<std::size_t>(
+      EnvOr("SGR_THREADS", static_cast<double>(spec.threads)));
+  std::string json_path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      char* end = nullptr;
+      const unsigned long value = std::strtoul(argv[i + 1], &end, 10);
+      if (end != argv[i + 1] && *end == '\0') {
+        threads = static_cast<std::size_t>(value);
+      }
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json_path = argv[i + 1];
+    }
+  }
+
+  std::cout << "=== scenario '" << name
+            << "': " << BuiltinScenarioDescription(name) << " ===\n"
+            << "threads = " << ResolveThreadCount(threads)
+            << " (timings are wall-clock inside concurrent trials; read "
+               "them at --threads 1)\n\n";
+  const ScenarioRunResult result = RunScenario(spec, threads, &std::cout);
+
+  TablePrinter table(std::cout,
+                     {"Dataset", "Knobs", "Method", "steps", "avg L1",
+                      "final D", "rewire s"});
+  for (const ScenarioCell& cell : result.cells) {
+    std::string knobs = WalkToken(cell.walk);
+    if (cell.crawler != CrawlerKind::kRw) {
+      knobs += "/" + CrawlerToken(cell.crawler);
+    }
+    if (cell.joint_mode != JointEstimatorMode::kHybrid) {
+      knobs += "/" + JointModeToken(cell.joint_mode);
+    }
+    knobs += "/rc " + TablePrinter::Fixed(cell.rc, 0);
+    if (!cell.protect_subgraph) knobs += "/unprotected";
+    for (const auto& [kind, aggregate] : cell.methods) {
+      const DistanceSummary summary = aggregate.distances.Summarize();
+      table.AddRow({cell.dataset, knobs, MethodName(kind),
+                    TablePrinter::Fixed(aggregate.sample_steps, 0),
+                    TablePrinter::Fixed(summary.mean_average),
+                    TablePrinter::Fixed(aggregate.rewire.final_distance),
+                    TablePrinter::Fixed(aggregate.rewiring_seconds, 2)});
+    }
+  }
+  table.Print();
+
+  if (!json_path.empty()) {
+    WriteJsonFile(ScenarioReportToJson(result), json_path);
+    std::cout << "\nwrote JSON report: " << json_path
+              << " (byte-identical to `sgr run " << name << " --out`)\n";
+  }
+  return 0;
+}
+
 }  // namespace sgr::bench
 
 #endif  // SGR_BENCH_BENCH_COMMON_H_

@@ -1,9 +1,9 @@
 #include "estimation/estimators.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <cstdint>
+#include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -121,20 +121,57 @@ std::size_t CountWithinWindow(const std::vector<std::size_t>& positions,
   return static_cast<std::size_t>(last - first);
 }
 
+/// Defined fallback for walks too short for the re-weighted machinery
+/// (r < 3; including the empty list): plain small-sample statistics. The
+/// interesting estimators all need lagged pairs (n̂) or interior positions
+/// (ĉ̄), so visit frequencies are the best defined answer.
+LocalEstimates SmallSampleEstimates(const SamplingList& list) {
+  LocalEstimates est;
+  const std::size_t r = list.Length();
+  std::vector<NodeId> seen;
+  for (const auto& [node, nbrs] : list.neighbors) {
+    seen.push_back(node);
+    seen.insert(seen.end(), nbrs.begin(), nbrs.end());
+  }
+  std::sort(seen.begin(), seen.end());
+  seen.erase(std::unique(seen.begin(), seen.end()), seen.end());
+  est.num_nodes = static_cast<double>(seen.size());
+  if (r == 0) return est;  // empty list: zero estimates, empty dists
+
+  std::size_t max_degree = 0;
+  double degree_sum = 0.0;
+  for (NodeId v : list.visit_sequence) {
+    const std::size_t d = list.DegreeOf(v);
+    max_degree = std::max(max_degree, d);
+    degree_sum += static_cast<double>(d);
+  }
+  est.average_degree = degree_sum / static_cast<double>(r);
+  est.degree_dist.assign(max_degree + 1, 0.0);
+  for (NodeId v : list.visit_sequence) {
+    est.degree_dist[list.DegreeOf(v)] += 1.0 / static_cast<double>(r);
+  }
+  est.clustering.assign(max_degree + 1, 0.0);
+  return est;
+}
+
 }  // namespace
 
 double EstimateAverageDegree(const SamplingList& list) {
-  assert(list.is_walk);
+  if (!list.is_walk || list.Length() == 0) return 0.0;
   double inv_sum = 0.0;
   for (NodeId v : list.visit_sequence) {
-    inv_sum += 1.0 / static_cast<double>(list.DegreeOf(v));
+    const auto degree = static_cast<double>(list.DegreeOf(v));
+    if (degree > 0.0) inv_sum += 1.0 / degree;
   }
+  // A walk pinned to zero-degree nodes (only possible for hand-built
+  // lists) has no finite harmonic mean; 0 is the documented sentinel.
+  if (inv_sum <= 0.0) return 0.0;
   return static_cast<double>(list.Length()) / inv_sum;
 }
 
 double EstimateNumNodes(const SamplingList& list, double fallback,
                         const EstimatorOptions& options) {
-  assert(list.is_walk);
+  if (!list.is_walk) return fallback;
   const std::size_t r = list.Length();
   if (r < 3) return fallback;
   const std::size_t m = LagThreshold(r, options.collision_threshold_fraction);
@@ -161,8 +198,11 @@ double EstimateNumNodes(const SamplingList& list, double fallback,
   // with the window handled by a prefix-sum array.
   std::vector<double> inv_prefix(r + 1, 0.0);
   for (std::size_t i = 0; i < r; ++i) {
-    inv_prefix[i + 1] =
-        inv_prefix[i] + 1.0 / static_cast<double>(list.DegreeOf(walk[i]));
+    const auto degree = static_cast<double>(list.DegreeOf(walk[i]));
+    // Zero-degree entries (hand-built lists only) contribute no weight —
+    // an infinite term here would turn the window subtraction below into
+    // inf - inf = NaN.
+    inv_prefix[i + 1] = inv_prefix[i] + (degree > 0.0 ? 1.0 / degree : 0.0);
   }
   const double inv_total = inv_prefix[r];
   double numerator = 0.0;
@@ -178,9 +218,14 @@ double EstimateNumNodes(const SamplingList& list, double fallback,
 
 LocalEstimates EstimateLocalProperties(const SamplingList& list,
                                        const EstimatorOptions& options) {
-  assert(list.is_walk && "re-weighted estimators require a walk sample");
+  if (!list.is_walk) {
+    throw std::invalid_argument(
+        "EstimateLocalProperties: re-weighted estimators require a walk "
+        "sample (list.is_walk); BFS/snowball/forest-fire crawls would "
+        "yield biased estimates");
+  }
   const std::size_t r = list.Length();
-  assert(r >= 3 && "estimators require at least 3 walk steps");
+  if (r < 3) return SmallSampleEstimates(list);
   const std::vector<NodeId>& walk = list.visit_sequence;
   const std::size_t m = LagThreshold(r, options.collision_threshold_fraction);
 
@@ -207,9 +252,13 @@ LocalEstimates EstimateLocalProperties(const SamplingList& list,
   for (std::size_t i = 0; i < r; ++i) {
     const std::size_t d = degree_at(i);
     degree_count[d] += 1.0;
-    phi_bar += 1.0 / static_cast<double>(d);
+    if (d > 0) phi_bar += 1.0 / static_cast<double>(d);
   }
   phi_bar /= static_cast<double>(r);
+  // A zero-edge crawl (every queried node isolated — hand-built lists
+  // only) admits no re-weighting at all; fall back to the defined
+  // small-sample statistics instead of dividing by zero.
+  if (phi_bar <= 0.0) return SmallSampleEstimates(list);
   est.average_degree = 1.0 / phi_bar;
 
   std::vector<double> phi(max_degree + 1, 0.0);

@@ -57,16 +57,29 @@ struct EstimatorOptions {
 /// per-node sorted position lists (see DESIGN.md, "Faithfulness notes").
 ///
 /// `list.is_walk` must be true: the estimators rely on the Markov property
-/// of the sequence. Requires r >= 3.
+/// of the sequence — a non-walk sample (BFS / snowball / forest fire)
+/// throws std::invalid_argument, since re-weighting such a crawl would
+/// silently produce biased numbers.
+///
+/// Degenerate-but-legal inputs return defined values instead of NaN/UB:
+/// walks shorter than 3 steps (a budget of one queried node, or an empty
+/// hand-built list) fall back to plain small-sample statistics — n̂ = the
+/// number of distinct nodes seen, k̂̄ = the plain mean degree of the
+/// visited nodes, P̂(k) = the visit frequencies, empty P̂(k, k') and
+/// ĉ̄(k) ≡ 0 — and a crawl whose queried nodes all have degree 0 yields
+/// k̂̄ = 0 with zero distributions.
 LocalEstimates EstimateLocalProperties(const SamplingList& list,
                                        const EstimatorOptions& options = {});
 
 /// The collision estimator n̂ alone (exposed for tests and ablations).
-/// Returns `fallback` when no collision pair exists at lag >= M.
+/// Returns `fallback` when no collision pair exists at lag >= M, when the
+/// walk is shorter than 3 steps, or when `list` is not a walk.
 double EstimateNumNodes(const SamplingList& list, double fallback,
                         const EstimatorOptions& options = {});
 
-/// The average-degree estimator k̂̄ alone.
+/// The average-degree estimator k̂̄ alone. Returns 0 for an empty list, a
+/// non-walk list, or a list whose visited nodes all have degree 0 (no
+/// finite harmonic mean exists).
 double EstimateAverageDegree(const SamplingList& list);
 
 }  // namespace sgr

@@ -1,6 +1,7 @@
 #include "exp/runner.h"
 
 #include <cstdlib>
+#include <stdexcept>
 
 #include "exp/parallel.h"
 #include "restore/gjoka.h"
@@ -8,6 +9,9 @@
 #include "restore/subgraph_method.h"
 #include "sampling/bfs.h"
 #include "sampling/forest_fire.h"
+#include "sampling/frontier.h"
+#include "sampling/metropolis_hastings.h"
+#include "sampling/non_backtracking.h"
 #include "sampling/random_walk.h"
 #include "sampling/snowball.h"
 #include "sampling/subgraph.h"
@@ -25,7 +29,8 @@ bool Wants(const ExperimentConfig& config, MethodKind kind) {
 
 MethodRunResult Evaluate(MethodKind kind, RestorationResult restoration,
                          const GraphProperties& original_properties,
-                         const PropertyOptions& property_options) {
+                         const PropertyOptions& property_options,
+                         std::size_t sample_steps) {
   MethodRunResult result;
   result.kind = kind;
   const GraphProperties generated =
@@ -34,7 +39,51 @@ MethodRunResult Evaluate(MethodKind kind, RestorationResult restoration,
   result.average_distance = AverageDistance(result.distances);
   result.sd_distance = DistanceStandardDeviation(result.distances);
   result.restoration = std::move(restoration);
+  result.sample_steps = static_cast<double>(sample_steps);
   return result;
+}
+
+/// Collects the shared sample of the walk-based trio according to the
+/// crawler / walk axes. Every branch consumes RNG draws only through
+/// `rng`, so the default (kRw + kSimple) reproduces the historical
+/// RandomWalkSample stream exactly.
+SamplingList SharedSample(QueryOracle& oracle, NodeId seed_node,
+                          std::size_t budget,
+                          const ExperimentConfig& config, Rng& rng) {
+  switch (config.crawler) {
+    case CrawlerKind::kRw:
+      switch (config.walk) {
+        case WalkKind::kSimple:
+          return RandomWalkSample(oracle, seed_node, budget, rng);
+        case WalkKind::kNonBacktracking:
+          return NonBacktrackingWalkSample(oracle, seed_node, budget, rng);
+        case WalkKind::kMetropolisHastings:
+          return MetropolisHastingsWalkSample(oracle, seed_node, budget,
+                                             rng);
+      }
+      break;
+    case CrawlerKind::kFrontier: {
+      std::vector<NodeId> seeds;
+      seeds.reserve(config.frontier_walkers);
+      seeds.push_back(seed_node);  // keep the shared seed node in play
+      for (std::size_t i = 1; i < config.frontier_walkers; ++i) {
+        seeds.push_back(
+            static_cast<NodeId>(rng.NextIndex(oracle.HiddenNumNodes())));
+      }
+      return FrontierSample(oracle, seeds, budget, rng);
+    }
+    case CrawlerKind::kMhrw:
+      return MetropolisHastingsWalkSample(oracle, seed_node, budget, rng);
+    case CrawlerKind::kBfs:
+      return BfsSample(oracle, seed_node, budget);
+    case CrawlerKind::kSnowball:
+      return SnowballSample(oracle, seed_node, budget, config.snowball_k,
+                            rng);
+    case CrawlerKind::kFf:
+      return ForestFireSample(oracle, seed_node, budget,
+                              config.forest_fire_pf, rng);
+  }
+  throw std::invalid_argument("unknown crawler kind");
 }
 
 /// Shared implementation: `GraphT` is Graph or CsrGraph; QueryOracle
@@ -52,54 +101,71 @@ std::vector<MethodRunResult> RunExperimentImpl(
 
   if (Wants(config, MethodKind::kBfs)) {
     QueryOracle oracle(original);
+    const SamplingList sample = BfsSample(oracle, seed_node, budget);
+    const std::size_t steps = sample.Length();
     results.push_back(Evaluate(
-        MethodKind::kBfs,
-        RestoreBySubgraphSampling(BfsSample(oracle, seed_node, budget)),
-        original_properties, config.property_options));
+        MethodKind::kBfs, RestoreBySubgraphSampling(sample),
+        original_properties, config.property_options, steps));
   }
   if (Wants(config, MethodKind::kSnowball)) {
     QueryOracle oracle(original);
+    const SamplingList sample = SnowballSample(oracle, seed_node, budget,
+                                               config.snowball_k, rng);
+    const std::size_t steps = sample.Length();
     results.push_back(Evaluate(
-        MethodKind::kSnowball,
-        RestoreBySubgraphSampling(SnowballSample(
-            oracle, seed_node, budget, config.snowball_k, rng)),
-        original_properties, config.property_options));
+        MethodKind::kSnowball, RestoreBySubgraphSampling(sample),
+        original_properties, config.property_options, steps));
   }
   if (Wants(config, MethodKind::kForestFire)) {
     QueryOracle oracle(original);
+    const SamplingList sample = ForestFireSample(
+        oracle, seed_node, budget, config.forest_fire_pf, rng);
+    const std::size_t steps = sample.Length();
     results.push_back(Evaluate(
-        MethodKind::kForestFire,
-        RestoreBySubgraphSampling(ForestFireSample(
-            oracle, seed_node, budget, config.forest_fire_pf, rng)),
-        original_properties, config.property_options));
+        MethodKind::kForestFire, RestoreBySubgraphSampling(sample),
+        original_properties, config.property_options, steps));
   }
 
-  const bool needs_walk = Wants(config, MethodKind::kRandomWalk) ||
-                          Wants(config, MethodKind::kGjoka) ||
-                          Wants(config, MethodKind::kProposed);
+  const bool wants_generative = Wants(config, MethodKind::kGjoka) ||
+                                Wants(config, MethodKind::kProposed);
+  const bool needs_walk =
+      Wants(config, MethodKind::kRandomWalk) || wants_generative;
   if (needs_walk) {
-    // One walk shared by subgraph-RW, Gjoka et al., and the proposed
+    // One sample shared by subgraph-RW, Gjoka et al., and the proposed
     // method (Section V-D: "we perform these methods for the same RW to
-    // achieve a fair comparison").
+    // achieve a fair comparison"). The crawler / walk axes select how it
+    // is collected; the default reproduces the paper's simple random walk.
     QueryOracle oracle(original);
     const SamplingList walk =
-        RandomWalkSample(oracle, seed_node, budget, rng);
+        SharedSample(oracle, seed_node, budget, config, rng);
+    if (wants_generative && !walk.is_walk) {
+      throw std::invalid_argument(
+          "generative methods (gjoka/proposed) require a walk crawler "
+          "(rw|frontier|mhrw), not a bfs/snowball/ff crawl");
+    }
+    // The clustering estimator's normalizer is a property of the walk
+    // that produced the sample — derive it here so the two can never
+    // disagree (see WalkKind).
+    RestorationOptions restoration = config.restoration;
+    restoration.estimator.walk_type =
+        (config.crawler == CrawlerKind::kRw &&
+         config.walk == WalkKind::kNonBacktracking)
+            ? WalkType::kNonBacktracking
+            : WalkType::kSimple;
     if (Wants(config, MethodKind::kRandomWalk)) {
-      results.push_back(Evaluate(MethodKind::kRandomWalk,
-                                 RestoreBySubgraphSampling(walk),
-                                 original_properties,
-                                 config.property_options));
+      results.push_back(Evaluate(
+          MethodKind::kRandomWalk, RestoreBySubgraphSampling(walk),
+          original_properties, config.property_options, walk.Length()));
     }
     if (Wants(config, MethodKind::kGjoka)) {
       results.push_back(Evaluate(
-          MethodKind::kGjoka, RestoreGjoka(walk, config.restoration, rng),
-          original_properties, config.property_options));
+          MethodKind::kGjoka, RestoreGjoka(walk, restoration, rng),
+          original_properties, config.property_options, walk.Length()));
     }
     if (Wants(config, MethodKind::kProposed)) {
       results.push_back(Evaluate(
-          MethodKind::kProposed,
-          RestoreProposed(walk, config.restoration, rng),
-          original_properties, config.property_options));
+          MethodKind::kProposed, RestoreProposed(walk, restoration, rng),
+          original_properties, config.property_options, walk.Length()));
     }
   }
   return results;

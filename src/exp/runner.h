@@ -14,11 +14,58 @@
 
 namespace sgr {
 
+/// Walk discipline of the shared sample consumed by the RW / Gjoka /
+/// Proposed trio (only meaningful when `ExperimentConfig::crawler` is
+/// kRw). The estimator's clustering normalizer is derived from this value
+/// inside the runner — kNonBacktracking selects
+/// WalkType::kNonBacktracking, everything else the simple-walk law.
+enum class WalkKind {
+  kSimple,              ///< simple random walk (the paper's setting)
+  kNonBacktracking,     ///< Lee et al.'s NBRW (Section II extension)
+  kMetropolisHastings,  ///< MH walk; uniform stationary law, so the
+                        ///  re-weighted estimators are deliberately
+                        ///  mismatched — an ablation axis, not a
+                        ///  recommended configuration
+};
+
+/// Crawler producing the shared sample of the walk-based trio (the
+/// subgraph-RW method plus the two generative methods). The non-walk
+/// crawlers (kBfs / kSnowball / kFf) yield samples without the Markov
+/// property, so they are only valid when the method list contains no
+/// generative method — ScenarioSpec::Validate enforces this, and
+/// RunExperiment throws std::invalid_argument if bypassed.
+enum class CrawlerKind {
+  kRw,        ///< single walker; honors ExperimentConfig::walk
+  kFrontier,  ///< Ribeiro & Towsley's multi-walker frontier sampling.
+              ///  Feeding it to the generative methods is a deliberate
+              ///  ablation combination, not a recommended configuration:
+              ///  the clustering estimator's interior term mixes
+              ///  independent walkers (see sampling/frontier.h), so the
+              ///  rewiring target it produces quantifies exactly that
+              ///  bias
+  kMhrw,      ///< Metropolis-Hastings walk (≡ kRw + kMetropolisHastings)
+  kBfs,       ///< breadth-first crawl (subgraph methods only)
+  kSnowball,  ///< snowball crawl (subgraph methods only)
+  kFf,        ///< forest-fire crawl (subgraph methods only)
+};
+
 /// Configuration of one experimental run matrix (Section V-D/E).
 struct ExperimentConfig {
   /// Fraction of nodes to query (the paper sweeps 1%-10%, uses 10% for the
   /// tables and 1% for YouTube).
   double query_fraction = 0.1;
+
+  /// Walk discipline of the shared sample (see WalkKind). Only consulted
+  /// when `crawler` is kRw; the runner also derives the clustering
+  /// estimator's normalizer from it, overriding
+  /// `restoration.estimator.walk_type`.
+  WalkKind walk = WalkKind::kSimple;
+
+  /// Crawler of the shared sample (see CrawlerKind).
+  CrawlerKind crawler = CrawlerKind::kRw;
+
+  /// Number of coupled walkers when `crawler` is kFrontier.
+  std::size_t frontier_walkers = 10;
 
   /// Methods to run. Default: all six, in the paper's column order.
   std::vector<MethodKind> methods = {
@@ -47,6 +94,12 @@ struct MethodRunResult {
   std::array<double, kNumProperties> distances{};
   double average_distance = 0.0;
   double sd_distance = 0.0;
+  /// Length of the sampling list the method consumed: walk steps r for the
+  /// walk-based trio (the same value for all three, they share one
+  /// sample), queried-node count for BFS / snowball / forest fire. A
+  /// deterministic function of (config, seed) — reports emit it outside
+  /// the "timings" blocks (the walk ablation's query-efficiency metric).
+  double sample_steps = 0.0;
 };
 
 /// Executes one run: draws a uniformly random seed node, starts BFS,

@@ -26,8 +26,17 @@ struct RestorationOptions {
 
   /// Estimator options (collision-lag fraction, joint-estimator mode,
   /// walk type). Set `estimator.walk_type = WalkType::kNonBacktracking`
-  /// when the sampling list came from NonBacktrackingWalkSample.
+  /// when the sampling list came from NonBacktrackingWalkSample (the
+  /// experiment runner derives this automatically from its walk axis).
   EstimatorOptions estimator;
+
+  /// Whether the proposed method's rewiring phase protects the sampled
+  /// subgraph edges E' — i.e. rewires over E~ \ E' (Section IV-E, the
+  /// paper's choice). `false` exposes Gjoka et al.'s all-edges candidate
+  /// set inside the proposed pipeline: the rewiring pass may then destroy
+  /// subgraph edges (the `ablation-rewire` scenario measures the effect).
+  /// Ignored by RestoreGjoka, which never protects edges.
+  bool protect_subgraph = true;
 
   /// If true, a degree-matched simplification pass (restore/simplify.h)
   /// runs after rewiring, removing most self-loops and parallel edges

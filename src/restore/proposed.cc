@@ -40,23 +40,27 @@ RestorationResult RestoreProposed(const SamplingList& list,
 
   // Fourth phase: rewire non-subgraph edges toward ĉ̄(k). Protecting the
   // first |E'| edge ids (the subgraph edges copied first by Algorithm 5)
-  // realizes E~rew = E~ \ E'. A nonzero batch size selects the batched
-  // speculative engine; its seed is one engine draw, so the sequential
-  // path's RNG stream is untouched when the engine is off.
+  // realizes E~rew = E~ \ E'; `protect_subgraph = false` widens the
+  // candidate set to all of E~ (Gjoka et al.'s choice — the candidate-set
+  // ablation). A nonzero batch size selects the batched speculative
+  // engine; its seed is one engine draw, so the sequential path's RNG
+  // stream is untouched when the engine is off.
+  const std::size_t protected_edges =
+      options.protect_subgraph ? sub.graph.NumEdges() : 0;
   Timer rewiring;
   if (options.parallel_rewire.batch_size > 0) {
     result.rewire_stats = RewireToClusteringParallel(
-        result.graph, sub.graph.NumEdges(), result.estimates.clustering,
+        result.graph, protected_edges, result.estimates.clustering,
         options.rewire, options.parallel_rewire, rng.engine()());
   } else {
     result.rewire_stats =
-        RewireToClustering(result.graph, sub.graph.NumEdges(),
+        RewireToClustering(result.graph, protected_edges,
                            result.estimates.clustering, options.rewire, rng);
   }
   result.rewiring_seconds = rewiring.Seconds();
 
   if (options.simplify_output) {
-    SimplifyByRewiring(result.graph, sub.graph.NumEdges(), rng,
+    SimplifyByRewiring(result.graph, protected_edges, rng,
                        options.parallel_rewire.threads);
   }
   result.total_seconds = total.Seconds();

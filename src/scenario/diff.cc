@@ -1,0 +1,411 @@
+#include "scenario/diff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sgr {
+
+namespace {
+
+/// Member access that names the offending location, so a malformed or
+/// truncated report is diagnosable from the error alone.
+const Json& RequireMember(const Json& object, const char* key,
+                          const std::string& where) {
+  const Json* member = object.Find(key);
+  if (member == nullptr) {
+    throw std::runtime_error("report " + where + ": missing '" + key + "'");
+  }
+  return *member;
+}
+
+double RequireNumber(const Json& object, const char* key,
+                     const std::string& where) {
+  const Json& member = RequireMember(object, key, where);
+  if (!member.IsNumber()) {
+    throw std::runtime_error("report " + where + ": '" + key +
+                             "' must be a number");
+  }
+  return member.AsNumber();
+}
+
+std::string RequireString(const Json& object, const char* key,
+                          const std::string& where) {
+  const Json& member = RequireMember(object, key, where);
+  if (!member.IsString()) {
+    throw std::runtime_error("report " + where + ": '" + key +
+                             "' must be a string");
+  }
+  return member.AsString();
+}
+
+std::string StringOr(const Json& object, const char* key,
+                     const std::string& fallback) {
+  const Json* member = object.Find(key);
+  return member != nullptr && member->IsString() ? member->AsString()
+                                                 : fallback;
+}
+
+double NumberOr(const Json& object, const char* key, double fallback) {
+  const Json* member = object.Find(key);
+  return member != nullptr && member->IsNumber() ? member->AsNumber()
+                                                 : fallback;
+}
+
+bool BoolOr(const Json& object, const char* key, bool fallback) {
+  const Json* member = object.Find(key);
+  return member != nullptr && member->IsBool() ? member->AsBool()
+                                               : fallback;
+}
+
+/// Default knob values for cells recorded before the axis schema: the
+/// paper-faithful axis defaults, except RC, which pre-axis reports carry
+/// only in their config echo.
+struct KnobDefaults {
+  double rc = 500.0;
+};
+
+KnobDefaults DefaultsFromConfig(const Json& report) {
+  KnobDefaults defaults;
+  const Json* config = report.Find("config");
+  if (config != nullptr && config->IsObject()) {
+    defaults.rc = NumberOr(*config, "rc", defaults.rc);
+  }
+  return defaults;
+}
+
+/// Pairing identity of one cell: every knob axis plus the dataset. The
+/// canonical form is a dumped JSON array, so number formatting is the
+/// writer's shortest-round-trip form on both sides.
+std::string CellKey(const Json& cell, const KnobDefaults& defaults) {
+  Json key = Json::Array();
+  key.Push(Json::String(StringOr(cell, "dataset", "?")));
+  key.Push(Json::Number(NumberOr(cell, "query_fraction", 0.0)));
+  key.Push(Json::String(StringOr(cell, "walk", "simple")));
+  key.Push(Json::String(StringOr(cell, "crawler", "rw")));
+  const Json* estimator = cell.Find("estimator");
+  key.Push(Json::String(
+      estimator != nullptr && estimator->IsObject()
+          ? StringOr(*estimator, "joint_mode", "hybrid")
+          : "hybrid"));
+  key.Push(Json::Number(
+      estimator != nullptr && estimator->IsObject()
+          ? NumberOr(*estimator, "collision_fraction", 0.025)
+          : 0.025));
+  key.Push(Json::Number(NumberOr(cell, "rc", defaults.rc)));
+  key.Push(Json::Bool(BoolOr(cell, "protect_subgraph", true)));
+  return key.Dump(0);
+}
+
+/// Human-readable cell label for findings: dataset @ fraction plus the
+/// knobs that differ from the defaults.
+std::string CellLabel(const Json& cell, const KnobDefaults& defaults) {
+  std::ostringstream label;
+  label << StringOr(cell, "dataset", "?") << " @ "
+        << 100.0 * NumberOr(cell, "query_fraction", 0.0) << "%";
+  const std::string walk = StringOr(cell, "walk", "simple");
+  if (walk != "simple") label << " walk=" << walk;
+  const std::string crawler = StringOr(cell, "crawler", "rw");
+  if (crawler != "rw") label << " crawler=" << crawler;
+  if (const Json* estimator = cell.Find("estimator")) {
+    const std::string joint = StringOr(*estimator, "joint_mode", "hybrid");
+    if (joint != "hybrid") label << " joint=" << joint;
+  }
+  if (const Json* rc = cell.Find("rc")) {
+    if (rc->IsNumber() && rc->AsNumber() != defaults.rc) {
+      label << " rc=" << rc->AsNumber();
+    }
+  }
+  if (!BoolOr(cell, "protect_subgraph", true)) label << " unprotected";
+  return label.str();
+}
+
+std::map<std::string, const Json*> IndexCells(const Json& report,
+                                              const KnobDefaults& defaults) {
+  std::map<std::string, const Json*> index;
+  for (const Json& cell : report.Find("cells")->Items()) {
+    std::string key = CellKey(cell, defaults);
+    // Distinct cells never share a key (axes are duplicate-free), but a
+    // hand-edited report might; disambiguate rather than drop data.
+    while (index.count(key) > 0) key += "#";
+    index.emplace(std::move(key), &cell);
+  }
+  return index;
+}
+
+struct Comparator {
+  const DiffOptions& options;
+  DiffResult& result;
+
+  void Finding(bool regression, std::string message) {
+    result.findings.push_back({regression, std::move(message)});
+  }
+
+  /// Deterministic values must agree to within l1_tolerance (optionally
+  /// scaled for count-like fields); drift in either direction means the
+  /// pipeline changed and the baseline no longer describes it.
+  void CompareDeterministic(const std::string& what, double old_value,
+                            double new_value, double scale = 1.0) {
+    // NaN needs explicit handling: every comparison below is false for a
+    // NaN drift, which would wave a NaN-corrupted report through the
+    // gate. Two NaNs agree (the report writer emits NaN literals for
+    // legitimately non-finite distances); a NaN appearing on one side
+    // only is a regression.
+    if (std::isnan(old_value) || std::isnan(new_value)) {
+      if (std::isnan(old_value) != std::isnan(new_value)) {
+        std::ostringstream message;
+        message << what << ": " << old_value << " -> " << new_value
+                << " (NaN on one side only)";
+        Finding(true, message.str());
+      }
+      return;
+    }
+    const double drift = std::abs(new_value - old_value);
+    result.max_l1_drift = std::max(result.max_l1_drift, drift / scale);
+    if (drift > options.l1_tolerance * scale) {
+      std::ostringstream message;
+      message << what << ": " << old_value << " -> " << new_value
+              << " (drift " << drift << ", tolerance "
+              << options.l1_tolerance * scale << ")";
+      Finding(true, message.str());
+    }
+  }
+
+  /// Timing fields are compared as ratios. A new value that is itself
+  /// sub-millisecond cannot be a slowdown worth flagging (scheduler
+  /// noise at CI scale), but a sub-millisecond *old* value must not
+  /// blind the gate — a 1 ms baseline blowing up to 10 s is exactly what
+  /// this tool exists to catch — so the ratio denominator is clamped to
+  /// the noise floor instead of skipping the comparison.
+  void CompareTiming(const std::string& what, double old_value,
+                     double new_value) {
+    if (!options.compare_timings) return;
+    constexpr double kMinMeaningfulSeconds = 1e-3;
+    if (!std::isfinite(old_value) || !std::isfinite(new_value) ||
+        new_value < kMinMeaningfulSeconds) {
+      return;
+    }
+    const double ratio =
+        new_value / std::max(old_value, kMinMeaningfulSeconds);
+    result.max_time_ratio = std::max(result.max_time_ratio, ratio);
+    if (ratio > 1.0 + options.time_tolerance) {
+      std::ostringstream message;
+      message << what << ": " << old_value << "s -> " << new_value
+              << "s (" << ratio << "x, tolerance "
+              << 1.0 + options.time_tolerance << "x)";
+      Finding(true, message.str());
+    } else if (ratio < 1.0 / (1.0 + options.time_tolerance)) {
+      std::ostringstream message;
+      message << what << ": " << old_value << "s -> " << new_value
+              << "s (" << ratio << "x faster)";
+      Finding(false, message.str());
+    }
+  }
+
+  void CompareMethods(const std::string& label, const Json& old_cell,
+                      const Json& new_cell) {
+    std::map<std::string, const Json*> new_methods;
+    for (const Json& method : new_cell.Find("methods")->Items()) {
+      new_methods[method.Find("method")->AsString()] = &method;
+    }
+    for (const Json& old_method : old_cell.Find("methods")->Items()) {
+      const std::string name = old_method.Find("method")->AsString();
+      const auto it = new_methods.find(name);
+      if (it == new_methods.end()) {
+        Finding(true, label + " / " + name +
+                          ": method missing from the new report");
+        continue;
+      }
+      const Json& new_method = *it->second;
+      ++result.methods_compared;
+      const std::string where = label + " / " + name;
+
+      const Json& old_distances = *old_method.Find("distances");
+      const Json& new_distances = *new_method.Find("distances");
+      CompareDeterministic(where + " avg L1",
+                           old_distances.Find("average")->AsNumber(),
+                           new_distances.Find("average")->AsNumber());
+      const Json* new_props = new_distances.Find("per_property");
+      for (const auto& [property, old_value] :
+           old_distances.Find("per_property")->ObjectMembers()) {
+        const Json* new_value =
+            new_props == nullptr ? nullptr : new_props->Find(property);
+        if (new_value == nullptr || !new_value->IsNumber()) {
+          Finding(true, where + ": property '" + property +
+                            "' missing from the new report");
+          continue;
+        }
+        CompareDeterministic(where + " " + property, old_value.AsNumber(),
+                             new_value->AsNumber());
+      }
+
+      // sample_steps is deterministic but count-scaled; compare relative
+      // to the old magnitude. Pre-axis reports lack the field.
+      const Json* old_steps = old_method.Find("sample_steps");
+      const Json* new_steps = new_method.Find("sample_steps");
+      if (old_steps != nullptr && new_steps != nullptr) {
+        CompareDeterministic(
+            where + " sample_steps", old_steps->AsNumber(),
+            new_steps->AsNumber(),
+            std::max(1.0, std::abs(old_steps->AsNumber())));
+      }
+
+      const Json* old_timings = old_method.Find("timings");
+      const Json* new_timings = new_method.Find("timings");
+      if (old_timings != nullptr && new_timings != nullptr) {
+        CompareTiming(where + " restore_seconds",
+                      NumberOr(*old_timings, "restore_seconds", 0.0),
+                      NumberOr(*new_timings, "restore_seconds", 0.0));
+        CompareTiming(where + " rewiring_seconds",
+                      NumberOr(*old_timings, "rewiring_seconds", 0.0),
+                      NumberOr(*new_timings, "rewiring_seconds", 0.0));
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ValidateReportSchema(const Json& document) {
+  if (!document.IsObject()) {
+    throw std::runtime_error("report: document must be a JSON object");
+  }
+  const std::string schema = RequireString(document, "schema", "top level");
+  if (schema != "sgr-report/1") {
+    throw std::runtime_error("report: unsupported schema '" + schema +
+                             "' (expected sgr-report/1)");
+  }
+  const Json& cells = RequireMember(document, "cells", "top level");
+  if (!cells.IsArray()) {
+    throw std::runtime_error("report: 'cells' must be an array");
+  }
+  std::size_t cell_index = 0;
+  for (const Json& cell : cells.Items()) {
+    const std::string where = "cells[" + std::to_string(cell_index) + "]";
+    if (!cell.IsObject()) {
+      throw std::runtime_error("report " + where + ": must be an object");
+    }
+    (void)RequireString(cell, "dataset", where);
+    (void)RequireNumber(cell, "query_fraction", where);
+    const Json& methods = RequireMember(cell, "methods", where);
+    if (!methods.IsArray()) {
+      throw std::runtime_error("report " + where +
+                               ": 'methods' must be an array");
+    }
+    std::size_t method_index = 0;
+    for (const Json& method : methods.Items()) {
+      const std::string method_where =
+          where + ".methods[" + std::to_string(method_index) + "]";
+      if (!method.IsObject()) {
+        throw std::runtime_error("report " + method_where +
+                                 ": must be an object");
+      }
+      (void)RequireString(method, "method", method_where);
+      const Json& distances =
+          RequireMember(method, "distances", method_where);
+      if (!distances.IsObject()) {
+        throw std::runtime_error("report " + method_where +
+                                 ": 'distances' must be an object");
+      }
+      (void)RequireNumber(distances, "average", method_where);
+      const Json& per_property =
+          RequireMember(distances, "per_property", method_where);
+      if (!per_property.IsObject()) {
+        throw std::runtime_error("report " + method_where +
+                                 ": 'per_property' must be an object");
+      }
+      for (const auto& [property, value] : per_property.ObjectMembers()) {
+        if (!value.IsNumber()) {
+          throw std::runtime_error("report " + method_where +
+                                   ": property '" + property +
+                                   "' must be a number");
+        }
+      }
+      ++method_index;
+    }
+    ++cell_index;
+  }
+}
+
+DiffResult DiffReports(const Json& old_report, const Json& new_report,
+                       const DiffOptions& options) {
+  ValidateReportSchema(old_report);
+  ValidateReportSchema(new_report);
+
+  DiffResult result;
+  Comparator compare{options, result};
+
+  const KnobDefaults old_defaults = DefaultsFromConfig(old_report);
+  const KnobDefaults new_defaults = DefaultsFromConfig(new_report);
+  const auto old_cells = IndexCells(old_report, old_defaults);
+  const auto new_cells = IndexCells(new_report, new_defaults);
+
+  for (const auto& [key, old_cell] : old_cells) {
+    const auto it = new_cells.find(key);
+    const std::string label = CellLabel(*old_cell, old_defaults);
+    if (it == new_cells.end()) {
+      compare.Finding(true,
+                      label + ": cell missing from the new report");
+      continue;
+    }
+    const Json& new_cell = *it->second;
+    ++result.cells_compared;
+
+    // Protocol fields: a changed trial count or seed base makes the
+    // numbers legitimately different — surface it so a drift finding
+    // below is attributable.
+    const double old_trials = NumberOr(*old_cell, "trials", 0.0);
+    const double new_trials = NumberOr(new_cell, "trials", 0.0);
+    if (old_trials != new_trials) {
+      std::ostringstream message;
+      message << label << ": trials changed (" << old_trials << " -> "
+              << new_trials << ")";
+      compare.Finding(false, message.str());
+    }
+    const double old_seed = NumberOr(*old_cell, "seed_base", 0.0);
+    const double new_seed = NumberOr(new_cell, "seed_base", 0.0);
+    if (old_seed != new_seed) {
+      std::ostringstream message;
+      message << label << ": seed_base changed (" << old_seed << " -> "
+              << new_seed << ")";
+      compare.Finding(false, message.str());
+    }
+
+    compare.CompareMethods(label, *old_cell, new_cell);
+
+    const Json* old_timings = old_cell->Find("timings");
+    const Json* new_timings = new_cell.Find("timings");
+    if (old_timings != nullptr && new_timings != nullptr) {
+      compare.CompareTiming(label + " wall_seconds",
+                            NumberOr(*old_timings, "wall_seconds", 0.0),
+                            NumberOr(*new_timings, "wall_seconds", 0.0));
+    }
+  }
+  for (const auto& [key, new_cell] : new_cells) {
+    if (old_cells.count(key) == 0) {
+      compare.Finding(false, CellLabel(*new_cell, new_defaults) +
+                                 ": new cell (not in the old report)");
+    }
+  }
+  return result;
+}
+
+void PrintDiff(const DiffResult& result, std::ostream& out) {
+  for (const DiffFinding& finding : result.findings) {
+    if (finding.regression) out << "REGRESSION  " << finding.message << "\n";
+  }
+  for (const DiffFinding& finding : result.findings) {
+    if (!finding.regression) out << "note        " << finding.message << "\n";
+  }
+  out << "compared " << result.cells_compared << " cell(s), "
+      << result.methods_compared << " method aggregate(s); max "
+      << "deterministic drift " << result.max_l1_drift
+      << ", max timing ratio " << result.max_time_ratio << "x\n"
+      << (result.HasRegression() ? "RESULT: REGRESSION" : "RESULT: OK")
+      << "\n";
+}
+
+}  // namespace sgr

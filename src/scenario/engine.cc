@@ -28,6 +28,16 @@ ScenarioCell RunScenarioCell(const std::string& dataset_name,
   cell.nodes = dataset.NumNodes();
   cell.edges = dataset.NumEdges();
   cell.query_fraction = config.query_fraction;
+  // The knob echo comes straight from the config actually executed, so a
+  // cell is attributable to its axis coordinates no matter who built the
+  // config (engine or bench).
+  cell.walk = config.walk;
+  cell.crawler = config.crawler;
+  cell.joint_mode = config.restoration.estimator.joint_mode;
+  cell.collision_fraction =
+      config.restoration.estimator.collision_threshold_fraction;
+  cell.rc = config.restoration.rewire.rewiring_coefficient;
+  cell.protect_subgraph = config.restoration.protect_subgraph;
   cell.seed_base = seed_base;
   cell.trials = trials;
 
@@ -45,6 +55,7 @@ ScenarioCell RunScenarioCell(const std::string& dataset_name,
       aggregate.distances.Add(r.distances);
       aggregate.total_seconds += r.restoration.total_seconds;
       aggregate.rewiring_seconds += r.restoration.rewiring_seconds;
+      aggregate.sample_steps += r.sample_steps;
       const RewireStats& rw = r.restoration.rewire_stats;
       aggregate.rewire.attempts += static_cast<double>(rw.attempts);
       aggregate.rewire.accepted += static_cast<double>(rw.accepted);
@@ -61,6 +72,7 @@ ScenarioCell RunScenarioCell(const std::string& dataset_name,
     const double inv = 1.0 / static_cast<double>(trials);
     aggregate.total_seconds *= inv;
     aggregate.rewiring_seconds *= inv;
+    aggregate.sample_steps *= inv;
     aggregate.rewire.attempts *= inv;
     aggregate.rewire.accepted *= inv;
     aggregate.rewire.rounds *= inv;
@@ -77,6 +89,11 @@ ScenarioRunResult RunScenario(const ScenarioSpec& spec,
                               std::size_t threads_override,
                               std::ostream* progress,
                               std::size_t rewire_threads_override) {
+  // Programmatically built specs never pass through FromJson — gate the
+  // engine on the same semantic validation (finite numbers, non-empty
+  // axes, cross-axis rules) so an invalid spec cannot reach a dataset
+  // loader or an ExperimentConfig.
+  spec.Validate();
   ScenarioRunResult result;
   result.spec = spec;
   result.threads = ResolveThreadCount(
@@ -87,19 +104,23 @@ ScenarioRunResult RunScenario(const ScenarioSpec& spec,
           ? spec.rewire_threads
           : rewire_threads_override);
 
+  const std::vector<CellKnobs> knob_matrix = spec.ExpandKnobs();
   std::size_t cell_index = 0;
   for (const ScenarioDataset& dataset_spec : spec.datasets) {
     const Graph dataset = Materialize(dataset_spec, spec.dataset_scale);
     // Properties of the original depend on the dataset and the evaluation
-    // options only — compute once, share across the fraction sweep.
+    // options only — compute once, share across the knob sweep.
     const GraphProperties properties = ComputeProperties(
         dataset, spec.ToExperimentConfig(spec.fractions.front())
                      .property_options);
-    for (double fraction : spec.fractions) {
+    for (const CellKnobs& knobs : knob_matrix) {
+      // uint64 arithmetic wraps modulo 2^64 by design — see the seeding
+      // contract in engine.h.
       const std::uint64_t cell_seed =
           spec.seed_base +
-          static_cast<std::uint64_t>(cell_index) * spec.trials;
-      ExperimentConfig config = spec.ToExperimentConfig(fraction);
+          static_cast<std::uint64_t>(cell_index) *
+              static_cast<std::uint64_t>(spec.trials);
+      ExperimentConfig config = spec.ToExperimentConfig(knobs);
       // The rewire worker count is an execution knob — overriding it (or
       // resolving 0 to the hardware) must not leak into the spec echo.
       config.restoration.parallel_rewire.threads = result.rewire_threads;
@@ -107,9 +128,15 @@ ScenarioRunResult RunScenario(const ScenarioSpec& spec,
           dataset_spec.name, dataset, properties, config, spec.trials,
           cell_seed, result.threads);
       if (progress != nullptr) {
-        *progress << "cell " << cell.dataset << " @ " << 100.0 * fraction
-                  << "% queried: n = " << cell.nodes << ", m = "
-                  << cell.edges << ", " << spec.trials << " trials in "
+        *progress << "cell " << cell.dataset << " @ "
+                  << 100.0 * knobs.fraction << "% queried ["
+                  << WalkToken(knobs.walk) << "/"
+                  << CrawlerToken(knobs.crawler) << "/"
+                  << JointModeToken(knobs.estimator.joint_mode)
+                  << "/rc " << knobs.rc
+                  << (knobs.protect_subgraph ? "" : "/unprotected")
+                  << "]: n = " << cell.nodes << ", m = " << cell.edges
+                  << ", " << spec.trials << " trials in "
                   << cell.wall_seconds << " s\n";
       }
       result.cells.push_back(std::move(cell));

@@ -51,17 +51,27 @@ struct ScenarioRunResult {
   std::vector<ScenarioCell> cells;
 };
 
-/// Expands `spec` into its {dataset x fraction} matrix and executes every
-/// cell through RunExperiments over a shared immutable CsrGraph snapshot
-/// per dataset. Registry datasets load through LoadDataset (honoring
-/// $SGR_DATASET_DIR; `spec.dataset_scale` overrides $SGR_DATASET_SCALE
-/// when nonzero); generator datasets are built from their GeneratorSpec,
-/// so a spec can be fully hermetic. Properties of each original dataset
-/// are computed once and shared by all of its fractions.
+/// Expands `spec` into its {dataset x fraction x walk x crawler x
+/// estimator x rc x protect} matrix (ScenarioSpec::ExpandKnobs order) and
+/// executes every cell through RunExperiments over a shared immutable
+/// CsrGraph snapshot per dataset. Registry datasets load through
+/// LoadDataset (honoring $SGR_DATASET_DIR; `spec.dataset_scale` overrides
+/// $SGR_DATASET_SCALE when nonzero); generator datasets are built from
+/// their GeneratorSpec, so a spec can be fully hermetic. Properties of
+/// each original dataset are computed once and shared by all of its
+/// knob coordinates. Throws ScenarioError (via ScenarioSpec::Validate)
+/// before touching any dataset if the spec is semantically invalid —
+/// including specs built programmatically that never saw FromJson.
 ///
-/// Cell seeds are `spec.seed_base + cell_index * spec.trials` with
-/// `cell_index` enumerating datasets-major / fractions-minor, so every
-/// trial in the matrix has a distinct, thread-independent seed.
+/// Seeding contract: cell c (0-based, datasets-major / knobs-minor in
+/// ExpandKnobs order) runs trials with run seeds
+///   spec.seed_base + c * spec.trials + i,   i in [0, trials),
+/// evaluated in uint64 arithmetic. All three terms deliberately wrap
+/// modulo 2^64: the schedule is a pure function of (seed_base, c, i) on
+/// every platform, reports are reproducible even for seed_base near
+/// UINT64_MAX, and two trials only ever collide if the matrix spans more
+/// than 2^64 total trials. Wrap-around is therefore part of the contract,
+/// not an overflow bug — locked by a boundary test.
 ///
 /// `threads_override` replaces spec.threads when not kThreadsFromSpec
 /// (the CLI's --threads / $SGR_THREADS plumbing); 0 means hardware

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "analysis/l1.h"
+#include "scenario/spec.h"
 
 namespace sgr {
 
@@ -44,6 +45,16 @@ Json ScenarioCellToJson(const ScenarioCell& cell) {
   json.Set("nodes", Json::Number(static_cast<double>(cell.nodes)));
   json.Set("edges", Json::Number(static_cast<double>(cell.edges)));
   json.Set("query_fraction", Json::Number(cell.query_fraction));
+  json.Set("walk", Json::String(WalkToken(cell.walk)));
+  json.Set("crawler", Json::String(CrawlerToken(cell.crawler)));
+  Json estimator = Json::Object();
+  estimator.Set("joint_mode",
+                Json::String(JointModeToken(cell.joint_mode)));
+  estimator.Set("collision_fraction",
+                Json::Number(cell.collision_fraction));
+  json.Set("estimator", std::move(estimator));
+  json.Set("rc", Json::Number(cell.rc));
+  json.Set("protect_subgraph", Json::Bool(cell.protect_subgraph));
   json.Set("seed_base", Json::Number(static_cast<double>(cell.seed_base)));
   json.Set("trials", Json::Number(static_cast<double>(cell.trials)));
 
@@ -52,6 +63,7 @@ Json ScenarioCellToJson(const ScenarioCell& cell) {
     const DistanceSummary summary = aggregate.distances.Summarize();
     Json entry = Json::Object();
     entry.Set("method", Json::String(MethodName(kind)));
+    entry.Set("sample_steps", Json::Number(aggregate.sample_steps));
     Json per_property = Json::Object();
     for (std::size_t i = 0; i < kNumProperties; ++i) {
       per_property.Set(PropertyNames()[i],

@@ -6,6 +6,8 @@
 #include <string>
 
 #include "analysis/summary.h"
+#include "estimation/estimators.h"
+#include "exp/runner.h"
 #include "restore/method.h"
 #include "util/json.h"
 
@@ -36,18 +38,30 @@ struct MethodAggregate {
   DistanceAccumulator distances;
   double total_seconds = 0.0;     ///< mean restoration seconds per trial
   double rewiring_seconds = 0.0;  ///< mean rewiring seconds per trial
+  double sample_steps = 0.0;      ///< mean sampling-list length per trial
+                                  ///  (deterministic: emitted outside
+                                  ///  "timings")
   RewireAggregate rewire;         ///< mean rewiring stats per trial
 };
 
-/// One cell of a scenario matrix: a dataset at one query fraction, with
-/// the per-method aggregates over the cell's trials. `methods` is keyed
-/// by MethodKind, so iteration (and the JSON emission) follows the
-/// paper's column order.
+/// One cell of a scenario matrix: a dataset at one coordinate of the
+/// knob axes (query fraction, walk, crawler, estimator variant, RC,
+/// candidate-set choice), with the per-method aggregates over the cell's
+/// trials. `methods` is keyed by MethodKind, so iteration (and the JSON
+/// emission) follows the paper's column order. The knob fields are
+/// echoed in the cell JSON — `sgr diff` pairs cells across reports by
+/// (dataset, knobs).
 struct ScenarioCell {
   std::string dataset;
   std::size_t nodes = 0;
   std::size_t edges = 0;
   double query_fraction = 0.0;
+  WalkKind walk = WalkKind::kSimple;
+  CrawlerKind crawler = CrawlerKind::kRw;
+  JointEstimatorMode joint_mode = JointEstimatorMode::kHybrid;
+  double collision_fraction = 0.025;
+  double rc = 500.0;
+  bool protect_subgraph = true;
   std::uint64_t seed_base = 0;
   std::size_t trials = 0;
   double wall_seconds = 0.0;  ///< whole trial matrix of this cell
@@ -77,8 +91,11 @@ Json EnvironmentToJson(const RunEnvironment& environment);
 
 /// Emits one cell:
 ///   {"dataset": ..., "nodes": ..., "edges": ..., "query_fraction": ...,
+///    "walk": "simple", "crawler": "rw",
+///    "estimator": {"joint_mode": "hybrid", "collision_fraction": ...},
+///    "rc": ..., "protect_subgraph": ...,
 ///    "seed_base": ..., "trials": ...,
-///    "methods": [{"method": "Proposed",
+///    "methods": [{"method": "Proposed", "sample_steps": ...,
 ///                 "distances": {"per_property": {"n": ..., ...12...},
 ///                               "average": ..., "sd": ...},
 ///                 "rewire": {"attempts": ..., "accepted": ...,

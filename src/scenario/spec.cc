@@ -1,5 +1,6 @@
 #include "scenario/spec.h"
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 
@@ -110,6 +111,46 @@ GeneratorSpec ParseGenerator(const Json& json) {
     throw ScenarioError("'datasets[].fringe_fraction' must be in [0, 1)");
   }
   return gen;
+}
+
+/// Parses an axis given as either one scalar or an array of scalars
+/// (the document forms `"walk": "simple"` and `"walk": ["simple",
+/// "non-backtracking"]` are both valid). `parse_one` maps one Json
+/// element to the axis value type.
+template <typename T, typename ParseOne>
+std::vector<T> ParseScalarOrArray(const Json& value, const std::string& key,
+                                  ParseOne parse_one) {
+  std::vector<T> axis;
+  if (value.IsArray()) {
+    for (const Json& entry : value.Items()) {
+      axis.push_back(parse_one(entry, key + "[]"));
+    }
+    if (axis.empty()) {
+      throw ScenarioError("'" + key + "' must contain at least one value");
+    }
+  } else {
+    axis.push_back(parse_one(value, key));
+  }
+  return axis;
+}
+
+EstimatorSpec ParseEstimator(const Json& value, const std::string& key) {
+  if (!value.IsObject()) {
+    throw ScenarioError("'" + key + "' must be an object");
+  }
+  EstimatorSpec estimator;
+  for (const auto& [member, member_value] : value.ObjectMembers()) {
+    if (member == "joint_mode") {
+      estimator.joint_mode = JointModeFromToken(
+          RequireString(member_value, key + ".joint_mode"));
+    } else if (member == "collision_fraction") {
+      estimator.collision_fraction =
+          RequireNumber(member_value, key + ".collision_fraction");
+    } else {
+      throw ScenarioError("unknown estimator key '" + member + "'");
+    }
+  }
+  return estimator;
 }
 
 std::vector<ScenarioDataset> ParseDatasets(const Json& value) {
@@ -229,6 +270,62 @@ std::string MethodToken(MethodKind kind) {
   return "unknown";
 }
 
+WalkKind WalkKindFromToken(const std::string& token) {
+  if (token == "simple") return WalkKind::kSimple;
+  if (token == "non-backtracking") return WalkKind::kNonBacktracking;
+  if (token == "metropolis-hastings") return WalkKind::kMetropolisHastings;
+  throw ScenarioError("unknown walk '" + token +
+                      "' (simple|non-backtracking|metropolis-hastings)");
+}
+
+std::string WalkToken(WalkKind kind) {
+  switch (kind) {
+    case WalkKind::kSimple: return "simple";
+    case WalkKind::kNonBacktracking: return "non-backtracking";
+    case WalkKind::kMetropolisHastings: return "metropolis-hastings";
+  }
+  return "unknown";
+}
+
+CrawlerKind CrawlerKindFromToken(const std::string& token) {
+  if (token == "rw") return CrawlerKind::kRw;
+  if (token == "frontier") return CrawlerKind::kFrontier;
+  if (token == "mhrw") return CrawlerKind::kMhrw;
+  if (token == "bfs") return CrawlerKind::kBfs;
+  if (token == "snowball") return CrawlerKind::kSnowball;
+  if (token == "ff") return CrawlerKind::kFf;
+  throw ScenarioError("unknown crawler '" + token +
+                      "' (rw|frontier|mhrw|bfs|snowball|ff)");
+}
+
+std::string CrawlerToken(CrawlerKind kind) {
+  switch (kind) {
+    case CrawlerKind::kRw: return "rw";
+    case CrawlerKind::kFrontier: return "frontier";
+    case CrawlerKind::kMhrw: return "mhrw";
+    case CrawlerKind::kBfs: return "bfs";
+    case CrawlerKind::kSnowball: return "snowball";
+    case CrawlerKind::kFf: return "ff";
+  }
+  return "unknown";
+}
+
+JointEstimatorMode JointModeFromToken(const std::string& token) {
+  if (token == "hybrid") return JointEstimatorMode::kHybrid;
+  if (token == "ie") return JointEstimatorMode::kInducedEdgesOnly;
+  if (token == "te") return JointEstimatorMode::kTraversedEdgesOnly;
+  throw ScenarioError("unknown joint_mode '" + token + "' (hybrid|ie|te)");
+}
+
+std::string JointModeToken(JointEstimatorMode mode) {
+  switch (mode) {
+    case JointEstimatorMode::kHybrid: return "hybrid";
+    case JointEstimatorMode::kInducedEdgesOnly: return "ie";
+    case JointEstimatorMode::kTraversedEdgesOnly: return "te";
+  }
+  return "unknown";
+}
+
 ScenarioSpec ScenarioSpec::FromJson(const Json& json) {
   if (!json.IsObject()) {
     throw ScenarioError("scenario document must be a JSON object");
@@ -244,38 +341,48 @@ ScenarioSpec ScenarioSpec::FromJson(const Json& json) {
     } else if (key == "fractions") {
       spec.fractions.clear();
       for (const Json& f : RequireArray(value, key)) {
-        const double fraction = RequireNumber(f, "fractions[]");
-        if (fraction <= 0.0 || fraction > 1.0) {
-          throw ScenarioError("'fractions' entries must be in (0, 1]");
-        }
-        spec.fractions.push_back(fraction);
-      }
-      if (spec.fractions.empty()) {
-        throw ScenarioError("'fractions' must contain at least one value");
+        spec.fractions.push_back(RequireNumber(f, "fractions[]"));
       }
     } else if (key == "methods") {
       spec.methods.clear();
-      std::set<std::string> seen;
       for (const Json& m : RequireArray(value, key)) {
-        const std::string token = RequireString(m, "methods[]");
-        if (!seen.insert(token).second) {
-          throw ScenarioError("duplicate method '" + token + "'");
-        }
-        spec.methods.push_back(MethodKindFromToken(token));
-      }
-      if (spec.methods.empty()) {
-        throw ScenarioError("'methods' must name at least one method");
+        spec.methods.push_back(
+            MethodKindFromToken(RequireString(m, "methods[]")));
       }
     } else if (key == "trials") {
       spec.trials = static_cast<std::size_t>(RequireUint(value, key));
-      if (spec.trials == 0) throw ScenarioError("'trials' must be >= 1");
     } else if (key == "threads") {
       spec.threads = static_cast<std::size_t>(RequireUint(value, key));
     } else if (key == "seed_base") {
       spec.seed_base = RequireUint(value, key);
+    } else if (key == "walk") {
+      spec.walks = ParseScalarOrArray<WalkKind>(
+          value, key, [](const Json& v, const std::string& k) {
+            return WalkKindFromToken(RequireString(v, k));
+          });
+    } else if (key == "crawler") {
+      spec.crawlers = ParseScalarOrArray<CrawlerKind>(
+          value, key, [](const Json& v, const std::string& k) {
+            return CrawlerKindFromToken(RequireString(v, k));
+          });
+    } else if (key == "estimator") {
+      spec.estimators = ParseScalarOrArray<EstimatorSpec>(
+          value, key, [](const Json& v, const std::string& k) {
+            return ParseEstimator(v, k);
+          });
     } else if (key == "rc") {
-      spec.rc = RequireNumber(value, key);
-      if (spec.rc < 0.0) throw ScenarioError("'rc' must be >= 0");
+      spec.rcs = ParseScalarOrArray<double>(
+          value, key, [](const Json& v, const std::string& k) {
+            return RequireNumber(v, k);
+          });
+    } else if (key == "protect_subgraph") {
+      spec.protects = ParseScalarOrArray<bool>(
+          value, key, [](const Json& v, const std::string& k) {
+            return RequireBool(v, k);
+          });
+    } else if (key == "frontier_walkers") {
+      spec.frontier_walkers =
+          static_cast<std::size_t>(RequireUint(value, key));
     } else if (key == "rewire_batch") {
       spec.rewire_batch = static_cast<std::size_t>(RequireUint(value, key));
     } else if (key == "rewire_threads") {
@@ -285,21 +392,12 @@ ScenarioSpec ScenarioSpec::FromJson(const Json& json) {
       spec.path_sources = static_cast<std::size_t>(RequireUint(value, key));
     } else if (key == "snowball_k") {
       spec.snowball_k = static_cast<std::size_t>(RequireUint(value, key));
-      if (spec.snowball_k == 0) {
-        throw ScenarioError("'snowball_k' must be >= 1");
-      }
     } else if (key == "forest_fire_pf") {
       spec.forest_fire_pf = RequireNumber(value, key);
-      if (spec.forest_fire_pf <= 0.0 || spec.forest_fire_pf >= 1.0) {
-        throw ScenarioError("'forest_fire_pf' must be in (0, 1)");
-      }
     } else if (key == "simplify_output") {
       spec.simplify_output = RequireBool(value, key);
     } else if (key == "dataset_scale") {
       spec.dataset_scale = RequireNumber(value, key);
-      if (spec.dataset_scale < 0.0) {
-        throw ScenarioError("'dataset_scale' must be >= 0");
-      }
     } else {
       throw ScenarioError("unknown key '" + key + "'");
     }
@@ -307,7 +405,188 @@ ScenarioSpec ScenarioSpec::FromJson(const Json& json) {
   if (!saw_datasets) {
     throw ScenarioError("'datasets' is required");
   }
+  spec.Validate();
   return spec;
+}
+
+void ScenarioSpec::Validate() const {
+  // Every numeric knob is checked for finiteness here even though the
+  // typed JSON readers already reject Infinity/NaN — a spec built in
+  // C++ (or mutated after parsing) reaches the engine through this
+  // method alone.
+  const auto require_finite = [](double value, const char* key) {
+    if (!std::isfinite(value)) {
+      throw ScenarioError(std::string("'") + key + "' must be finite");
+    }
+  };
+
+  if (datasets.empty()) {
+    throw ScenarioError("'datasets' must name at least one dataset");
+  }
+  {
+    std::set<std::string> seen;
+    for (const ScenarioDataset& dataset : datasets) {
+      if (dataset.name.empty()) {
+        throw ScenarioError("'datasets[].name' must be non-empty");
+      }
+      if (!seen.insert(dataset.name).second) {
+        throw ScenarioError("duplicate dataset '" + dataset.name + "'");
+      }
+      if (dataset.generator) {
+        const GeneratorSpec& gen = *dataset.generator;
+        require_finite(gen.triad_p, "datasets[].triad_p");
+        require_finite(gen.fringe_fraction, "datasets[].fringe_fraction");
+        if (gen.nodes < 10) {
+          throw ScenarioError("'datasets[].nodes' must be >= 10");
+        }
+        if (gen.triad_p < 0.0 || gen.triad_p > 1.0) {
+          throw ScenarioError("'datasets[].triad_p' must be in [0, 1]");
+        }
+        if (gen.fringe_fraction < 0.0 || gen.fringe_fraction >= 1.0) {
+          throw ScenarioError(
+              "'datasets[].fringe_fraction' must be in [0, 1)");
+        }
+      }
+    }
+  }
+
+  if (fractions.empty()) {
+    throw ScenarioError("'fractions' must contain at least one value");
+  }
+  for (double fraction : fractions) {
+    require_finite(fraction, "fractions");
+    if (fraction <= 0.0 || fraction > 1.0) {
+      throw ScenarioError("'fractions' entries must be in (0, 1]");
+    }
+  }
+
+  if (methods.empty()) {
+    throw ScenarioError("'methods' must name at least one method");
+  }
+  {
+    std::set<std::string> seen;
+    for (MethodKind kind : methods) {
+      if (!seen.insert(MethodToken(kind)).second) {
+        throw ScenarioError("duplicate method '" + MethodToken(kind) + "'");
+      }
+    }
+  }
+
+  if (trials == 0) throw ScenarioError("'trials' must be >= 1");
+
+  const auto require_axis_unique =
+      [](const std::vector<std::string>& tokens, const char* key) {
+        std::set<std::string> seen;
+        for (const std::string& token : tokens) {
+          if (!seen.insert(token).second) {
+            throw ScenarioError(std::string("duplicate ") + key + " '" +
+                                token + "'");
+          }
+        }
+      };
+  if (walks.empty()) {
+    throw ScenarioError("'walk' must contain at least one value");
+  }
+  {
+    std::vector<std::string> tokens;
+    for (WalkKind walk : walks) tokens.push_back(WalkToken(walk));
+    require_axis_unique(tokens, "walk");
+  }
+  if (crawlers.empty()) {
+    throw ScenarioError("'crawler' must contain at least one value");
+  }
+  {
+    std::vector<std::string> tokens;
+    for (CrawlerKind crawler : crawlers) {
+      tokens.push_back(CrawlerToken(crawler));
+    }
+    require_axis_unique(tokens, "crawler");
+  }
+
+  if (estimators.empty()) {
+    throw ScenarioError("'estimator' must contain at least one variant");
+  }
+  for (std::size_t i = 0; i < estimators.size(); ++i) {
+    require_finite(estimators[i].collision_fraction,
+                   "estimator.collision_fraction");
+    if (estimators[i].collision_fraction <= 0.0 ||
+        estimators[i].collision_fraction >= 1.0) {
+      throw ScenarioError(
+          "'estimator.collision_fraction' must be in (0, 1)");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (estimators[j] == estimators[i]) {
+        throw ScenarioError("duplicate estimator variant");
+      }
+    }
+  }
+
+  if (rcs.empty()) {
+    throw ScenarioError("'rc' must contain at least one value");
+  }
+  {
+    std::set<double> seen;
+    for (double rc : rcs) {
+      require_finite(rc, "rc");
+      if (rc < 0.0) throw ScenarioError("'rc' must be >= 0");
+      if (!seen.insert(rc).second) {
+        throw ScenarioError("duplicate rc value");
+      }
+    }
+  }
+
+  if (protects.empty()) {
+    throw ScenarioError(
+        "'protect_subgraph' must contain at least one value");
+  }
+  if (protects.size() > 2) {
+    throw ScenarioError("duplicate protect_subgraph value");
+  }
+  if (protects.size() == 2 && protects[0] == protects[1]) {
+    throw ScenarioError("duplicate protect_subgraph value");
+  }
+
+  // Cross-axis rules. A non-walk crawl cannot feed the re-weighted
+  // estimators, and a walk discipline other than "simple" only means
+  // something for the single-walker rw crawler.
+  const bool has_generative =
+      std::count(methods.begin(), methods.end(), MethodKind::kGjoka) > 0 ||
+      std::count(methods.begin(), methods.end(), MethodKind::kProposed) > 0;
+  for (CrawlerKind crawler : crawlers) {
+    const bool non_walk = crawler == CrawlerKind::kBfs ||
+                          crawler == CrawlerKind::kSnowball ||
+                          crawler == CrawlerKind::kFf;
+    if (non_walk && has_generative) {
+      throw ScenarioError(
+          "crawler '" + CrawlerToken(crawler) +
+          "' produces a non-walk sample; the generative methods "
+          "(gjoka|proposed) require a walk crawler (rw|frontier|mhrw)");
+    }
+  }
+  for (WalkKind walk : walks) {
+    if (walk == WalkKind::kSimple) continue;
+    for (CrawlerKind crawler : crawlers) {
+      if (crawler != CrawlerKind::kRw) {
+        throw ScenarioError(
+            "walk '" + WalkToken(walk) +
+            "' only applies to the rw crawler (crawler '" +
+            CrawlerToken(crawler) + "' fixes its own walk discipline)");
+      }
+    }
+  }
+
+  if (frontier_walkers == 0) {
+    throw ScenarioError("'frontier_walkers' must be >= 1");
+  }
+  if (snowball_k == 0) throw ScenarioError("'snowball_k' must be >= 1");
+  require_finite(forest_fire_pf, "forest_fire_pf");
+  if (forest_fire_pf <= 0.0 || forest_fire_pf >= 1.0) {
+    throw ScenarioError("'forest_fire_pf' must be in (0, 1)");
+  }
+  require_finite(dataset_scale, "dataset_scale");
+  if (dataset_scale < 0.0) {
+    throw ScenarioError("'dataset_scale' must be >= 0");
+  }
 }
 
 Json ScenarioSpec::ToJson() const {
@@ -349,7 +628,51 @@ Json ScenarioSpec::ToJson() const {
   json.Set("trials", Json::Number(static_cast<double>(trials)));
   json.Set("threads", Json::Number(static_cast<double>(threads)));
   json.Set("seed_base", Json::Number(static_cast<double>(seed_base)));
-  json.Set("rc", Json::Number(rc));
+
+  // Axes serialize as a scalar when they hold one value and as an array
+  // otherwise, mirroring the two accepted document forms.
+  const auto scalar_or_array = [](std::vector<Json> items) {
+    if (items.size() == 1) return std::move(items.front());
+    Json array = Json::Array();
+    for (Json& item : items) array.Push(std::move(item));
+    return array;
+  };
+  {
+    std::vector<Json> items;
+    for (WalkKind walk : walks) items.push_back(Json::String(WalkToken(walk)));
+    json.Set("walk", scalar_or_array(std::move(items)));
+  }
+  {
+    std::vector<Json> items;
+    for (CrawlerKind crawler : crawlers) {
+      items.push_back(Json::String(CrawlerToken(crawler)));
+    }
+    json.Set("crawler", scalar_or_array(std::move(items)));
+  }
+  {
+    std::vector<Json> items;
+    for (const EstimatorSpec& estimator : estimators) {
+      Json entry = Json::Object();
+      entry.Set("joint_mode",
+                Json::String(JointModeToken(estimator.joint_mode)));
+      entry.Set("collision_fraction",
+                Json::Number(estimator.collision_fraction));
+      items.push_back(std::move(entry));
+    }
+    json.Set("estimator", scalar_or_array(std::move(items)));
+  }
+  {
+    std::vector<Json> items;
+    for (double rc : rcs) items.push_back(Json::Number(rc));
+    json.Set("rc", scalar_or_array(std::move(items)));
+  }
+  {
+    std::vector<Json> items;
+    for (bool protect : protects) items.push_back(Json::Bool(protect));
+    json.Set("protect_subgraph", scalar_or_array(std::move(items)));
+  }
+  json.Set("frontier_walkers",
+           Json::Number(static_cast<double>(frontier_walkers)));
   json.Set("rewire_batch", Json::Number(static_cast<double>(rewire_batch)));
   json.Set("rewire_threads",
            Json::Number(static_cast<double>(rewire_threads)));
@@ -361,16 +684,32 @@ Json ScenarioSpec::ToJson() const {
   return json;
 }
 
-ExperimentConfig ScenarioSpec::ToExperimentConfig(double fraction) const {
+ExperimentConfig ScenarioSpec::ToExperimentConfig(
+    const CellKnobs& knobs) const {
   ExperimentConfig config;
-  config.query_fraction = fraction;
+  config.query_fraction = knobs.fraction;
   config.methods = methods;
   config.snowball_k = snowball_k;
   config.forest_fire_pf = forest_fire_pf;
-  config.restoration.rewire.rewiring_coefficient = rc;
+  config.walk = knobs.walk;
+  config.crawler = knobs.crawler;
+  config.frontier_walkers = frontier_walkers;
+  config.restoration.rewire.rewiring_coefficient = knobs.rc;
   config.restoration.parallel_rewire.batch_size = rewire_batch;
   config.restoration.parallel_rewire.threads = rewire_threads;
   config.restoration.simplify_output = simplify_output;
+  config.restoration.protect_subgraph = knobs.protect_subgraph;
+  config.restoration.estimator.joint_mode = knobs.estimator.joint_mode;
+  config.restoration.estimator.collision_threshold_fraction =
+      knobs.estimator.collision_fraction;
+  // The clustering normalizer is derived from the walk axis inside the
+  // runner; setting it here too keeps direct ExperimentConfig consumers
+  // (RestoreProposed callers) consistent.
+  config.restoration.estimator.walk_type =
+      (knobs.crawler == CrawlerKind::kRw &&
+       knobs.walk == WalkKind::kNonBacktracking)
+          ? WalkType::kNonBacktracking
+          : WalkType::kSimple;
   config.property_options.max_path_sources = path_sources;
   // Trial-level parallelism is the engine's scaling axis; per-trial
   // property evaluation stays single-threaded so the report is
@@ -379,9 +718,47 @@ ExperimentConfig ScenarioSpec::ToExperimentConfig(double fraction) const {
   return config;
 }
 
+ExperimentConfig ScenarioSpec::ToExperimentConfig(double fraction) const {
+  CellKnobs knobs;
+  knobs.fraction = fraction;
+  knobs.walk = walks.front();
+  knobs.crawler = crawlers.front();
+  knobs.estimator = estimators.front();
+  knobs.rc = rcs.front();
+  knobs.protect_subgraph = protects.front();
+  return ToExperimentConfig(knobs);
+}
+
+std::vector<CellKnobs> ScenarioSpec::ExpandKnobs() const {
+  std::vector<CellKnobs> expanded;
+  for (double fraction : fractions) {
+    for (WalkKind walk : walks) {
+      for (CrawlerKind crawler : crawlers) {
+        for (const EstimatorSpec& estimator : estimators) {
+          for (double rc : rcs) {
+            for (bool protect : protects) {
+              CellKnobs knobs;
+              knobs.fraction = fraction;
+              knobs.walk = walk;
+              knobs.crawler = crawler;
+              knobs.estimator = estimator;
+              knobs.rc = rc;
+              knobs.protect_subgraph = protect;
+              expanded.push_back(knobs);
+            }
+          }
+        }
+      }
+    }
+  }
+  return expanded;
+}
+
 std::vector<std::string> BuiltinScenarioNames() {
-  return {"tables-smoke", "table2",         "table3",
-          "table4-time",  "table5-youtube", "fig3-sweep"};
+  return {"tables-smoke",  "table2",       "table3",
+          "table4-time",   "table5-youtube", "fig3-sweep",
+          "ablation-walk", "ablation-rc",  "ablation-jdm",
+          "ablation-rewire"};
 }
 
 bool IsBuiltinScenario(const std::string& name) {
@@ -415,6 +792,22 @@ std::string BuiltinScenarioDescription(const std::string& name) {
     return "Figure 3 protocol: query-fraction sweep 2%-10% on Anybeat/"
            "Brightkite/Epinions";
   }
+  if (name == "ablation-walk") {
+    return "Walk ablation: simple vs non-backtracking walk through the "
+           "proposed pipeline (Section II extension)";
+  }
+  if (name == "ablation-rc") {
+    return "Rewiring-budget ablation: RC sweep 0-500 on the Brightkite "
+           "stand-in (Section IV-E)";
+  }
+  if (name == "ablation-jdm") {
+    return "Joint-degree-estimator ablation: hybrid vs IE-only vs "
+           "TE-only (Section III-E)";
+  }
+  if (name == "ablation-rewire") {
+    return "Candidate-set ablation: protected (E~ \\ E') vs all-edges "
+           "rewiring inside the proposed pipeline (Section IV-E)";
+  }
   throw ScenarioError("unknown built-in scenario '" + name + "'");
 }
 
@@ -433,42 +826,94 @@ ScenarioSpec BuiltinScenario(const std::string& name) {
   if (name == "tables-smoke") {
     spec.datasets = registry({"anybeat", "brightkite"});
     spec.trials = 2;
-    spec.rc = 10.0;
+    spec.rcs = {10.0};
     spec.path_sources = 40;
     spec.dataset_scale = 0.1;
     spec.seed_base = 0x5A0E;
   } else if (name == "table2") {
     spec.datasets = registry({"slashdot", "gowalla", "livemocha"});
     spec.trials = 3;
-    spec.rc = 100.0;
+    spec.rcs = {100.0};
     spec.path_sources = 600;
     spec.seed_base = 0x7AB'2000;
   } else if (name == "table3") {
     spec.datasets = standard;
     spec.trials = 3;
-    spec.rc = 100.0;
+    spec.rcs = {100.0};
     spec.path_sources = 600;
     spec.seed_base = 0x7AB'3000;
   } else if (name == "table4-time") {
     spec.datasets = standard;
     spec.trials = 2;
-    spec.rc = 500.0;
+    spec.rcs = {500.0};
     spec.path_sources = 64;
     spec.seed_base = 0x7AB'4000;
   } else if (name == "table5-youtube") {
     spec.datasets = registry({"youtube"});
     spec.fractions = {0.01};
     spec.trials = 2;
-    spec.rc = 50.0;
+    spec.rcs = {50.0};
     spec.path_sources = 300;
     spec.seed_base = 0x7AB'5000;
   } else if (name == "fig3-sweep") {
     spec.datasets = registry({"anybeat", "brightkite", "epinions"});
     spec.fractions = {0.02, 0.04, 0.06, 0.08, 0.10};
     spec.trials = 3;
-    spec.rc = 100.0;
+    spec.rcs = {100.0};
     spec.path_sources = 600;
     spec.seed_base = 0xF16'3000;
+  } else if (name == "ablation-walk") {
+    // SRW vs NBRW through the full proposed pipeline. The sample_steps
+    // field of each cell carries the walk-length comparison (NBRW needs
+    // fewer steps for the same query budget); the distances carry the
+    // restoration-accuracy comparison. Recording-friendly scale — raise
+    // dataset_scale toward 1 for the paper-sized protocol.
+    spec.datasets = standard;
+    spec.methods = {MethodKind::kProposed};
+    spec.walks = {WalkKind::kSimple, WalkKind::kNonBacktracking};
+    spec.trials = 3;
+    spec.rcs = {100.0};
+    spec.path_sources = 40;
+    spec.dataset_scale = 0.15;
+    spec.seed_base = 0xAB4'0000;
+  } else if (name == "ablation-rc") {
+    // The accuracy/time trade-off of the rewiring budget: final D falls
+    // with RC while rewiring time grows linearly (read timings with
+    // --threads 1). The per-method "rewire" stats block carries
+    // initial/final D and the acceptance counters.
+    spec.datasets = registry({"brightkite"});
+    spec.methods = {MethodKind::kProposed};
+    spec.rcs = {0.0, 10.0, 50.0, 100.0, 250.0, 500.0};
+    spec.trials = 2;
+    spec.path_sources = 40;
+    spec.dataset_scale = 0.1;
+    spec.seed_base = 0xAB3'0000;
+  } else if (name == "ablation-jdm") {
+    // Hybrid vs pure IE vs pure TE joint-degree estimation, end to end:
+    // the estimator variant shapes the target JDM and therefore the
+    // restored graph's distances.
+    spec.datasets = standard;
+    spec.methods = {MethodKind::kProposed};
+    spec.estimators = {
+        {JointEstimatorMode::kHybrid, 0.025},
+        {JointEstimatorMode::kInducedEdgesOnly, 0.025},
+        {JointEstimatorMode::kTraversedEdgesOnly, 0.025}};
+    spec.trials = 3;
+    spec.rcs = {50.0};
+    spec.path_sources = 40;
+    spec.dataset_scale = 0.15;
+    spec.seed_base = 0xAB1'0000;
+  } else if (name == "ablation-rewire") {
+    // Candidate set E~ \ E' (protect_subgraph = true, the paper) vs all
+    // of E~ (false, Gjoka et al.'s choice) inside the proposed pipeline.
+    spec.datasets = standard;
+    spec.methods = {MethodKind::kProposed};
+    spec.protects = {true, false};
+    spec.trials = 2;
+    spec.rcs = {200.0};
+    spec.path_sources = 40;
+    spec.dataset_scale = 0.15;
+    spec.seed_base = 0xAB2'0000;
   } else {
     throw ScenarioError("unknown built-in scenario '" + name + "'");
   }

@@ -51,12 +51,46 @@ struct ScenarioDataset {
   std::optional<GeneratorSpec> generator;
 };
 
+/// One estimator ablation variant of a scenario: the knobs of
+/// EstimatorOptions that are spec-expressible (the walk-type normalizer is
+/// derived from the `walk` axis by the runner and is deliberately not a
+/// free knob here — the two can never disagree).
+struct EstimatorSpec {
+  JointEstimatorMode joint_mode = JointEstimatorMode::kHybrid;
+  /// Collision-pair lag threshold as a fraction of the walk length
+  /// (paper: 0.025). Must be finite and in (0, 1).
+  double collision_fraction = 0.025;
+
+  friend bool operator==(const EstimatorSpec& a, const EstimatorSpec& b) {
+    return a.joint_mode == b.joint_mode &&
+           a.collision_fraction == b.collision_fraction;
+  }
+};
+
+/// Coordinates of one cell of the expanded scenario matrix — everything
+/// that varies between cells besides the dataset. RunScenario enumerates
+/// these axes fractions-major through protects-minor (see engine.h) and
+/// each cell's report echoes them, so `sgr diff` can pair cells across
+/// reports by (dataset, knobs).
+struct CellKnobs {
+  double fraction = 0.1;
+  WalkKind walk = WalkKind::kSimple;
+  CrawlerKind crawler = CrawlerKind::kRw;
+  EstimatorSpec estimator;
+  double rc = 500.0;
+  bool protect_subgraph = true;
+};
+
 /// Declarative description of one crawl -> restore -> evaluate matrix:
-/// {datasets x query fractions x methods} x trials, with the knobs the
-/// hand-rolled benches used to take from the environment. Defaults match
-/// a default-constructed ExperimentConfig (RC = 500, 10% queried, all six
-/// methods, exact path evaluation), so an empty scenario runs the paper's
-/// Table III protocol on whatever datasets it names.
+/// {datasets x fractions x walks x crawlers x estimators x rcs x
+/// protects} x methods x trials, with the knobs the hand-rolled benches
+/// used to take from the environment. Defaults match a
+/// default-constructed ExperimentConfig (RC = 500, 10% queried, all six
+/// methods, simple random walk, exact path evaluation), so an empty
+/// scenario runs the paper's Table III protocol on whatever datasets it
+/// names; every new axis defaults to a single paper-faithful value, so
+/// pre-existing scenario documents expand to exactly the cells they
+/// always did.
 struct ScenarioSpec {
   std::string name = "custom";
   std::vector<ScenarioDataset> datasets;
@@ -68,7 +102,29 @@ struct ScenarioSpec {
   std::size_t trials = 3;
   std::size_t threads = 1;        ///< 0 = hardware concurrency
   std::uint64_t seed_base = 0x5EED;
-  double rc = 500.0;              ///< rewiring coefficient (paper: 500)
+  /// Walk-discipline axis of the shared sample (JSON key "walk": one
+  /// token or an array; simple | non-backtracking | metropolis-hastings).
+  std::vector<WalkKind> walks = {WalkKind::kSimple};
+  /// Crawler axis of the shared sample (JSON key "crawler": one token or
+  /// an array; rw | frontier | mhrw | bfs | snowball | ff). Non-walk
+  /// crawlers require a method list without gjoka/proposed; non-simple
+  /// walks require the rw crawler. frontier/mhrw with the generative
+  /// methods are deliberate ablation combinations (their stationary laws
+  /// violate the estimators' simple-walk assumptions — running them
+  /// measures that bias; see CrawlerKind / WalkKind).
+  std::vector<CrawlerKind> crawlers = {CrawlerKind::kRw};
+  /// Estimator-ablation axis (JSON key "estimator": one object or an
+  /// array of objects with "joint_mode" and "collision_fraction").
+  std::vector<EstimatorSpec> estimators = {{}};
+  /// Rewiring-coefficient axis (JSON key "rc": one number or an array;
+  /// paper: 500).
+  std::vector<double> rcs = {500.0};
+  /// Rewiring candidate-set axis (JSON key "protect_subgraph": one bool
+  /// or an array): true rewires over E~ \ E' (the paper's choice), false
+  /// over all of E~ (Gjoka et al.'s choice inside the proposed pipeline).
+  std::vector<bool> protects = {true};
+  /// Walker count for the frontier crawler (scalar knob, not an axis).
+  std::size_t frontier_walkers = 10;
   /// Batched speculative rewiring (restore/rewirer.h): 0 = the classic
   /// sequential attempt loop, nonzero = proposals per round of
   /// RewireToClusteringParallel. An algorithm knob — changing it changes
@@ -92,16 +148,38 @@ struct ScenarioSpec {
   static ScenarioSpec FromJson(const Json& json);
 
   /// Serializes the spec back to its document form; FromJson(ToJson(s))
-  /// round-trips to an equal document. Embedded verbatim in every report
-  /// so a result file names the matrix that produced it.
+  /// round-trips to an equal document (axes with a single value serialize
+  /// as scalars, larger axes as arrays). Embedded verbatim in every
+  /// report so a result file names the matrix that produced it.
   Json ToJson() const;
 
+  /// Full semantic validation of the spec *values*, independent of how
+  /// they were produced: non-empty axes, finite numbers for every numeric
+  /// knob (the JSON layer admits Infinity/NaN literals by design, and a
+  /// programmatically built spec never passes through FromJson at all),
+  /// in-range values, no duplicate axis entries, and the cross-axis rules
+  /// (non-walk crawlers forbid generative methods; non-simple walks
+  /// require the rw crawler). FromJson calls this after parsing, and
+  /// RunScenario calls it before executing, so an invalid spec can reach
+  /// neither ExperimentConfig nor the engine. Throws ScenarioError.
+  void Validate() const;
+
   /// The experiment configuration of one cell of the matrix: this spec's
-  /// method list and options with the given query fraction. Per-trial
+  /// method list and options at the given axis coordinates. Per-trial
   /// property evaluation is pinned to one thread, so reports are
   /// byte-identical for every engine thread count (the benches'
   /// long-standing determinism contract).
+  ExperimentConfig ToExperimentConfig(const CellKnobs& knobs) const;
+
+  /// Convenience overload: the given query fraction with every other axis
+  /// at its first value (exactly what single-axis callers — the table
+  /// benches — mean).
   ExperimentConfig ToExperimentConfig(double fraction) const;
+
+  /// Enumerates the knob coordinates of the non-dataset axes in cell
+  /// order: fractions-major, then walks, crawlers, estimators, rcs,
+  /// protects (minor). RunScenario visits datasets-major over this list.
+  std::vector<CellKnobs> ExpandKnobs() const;
 };
 
 /// Maps a scenario document's method token (bfs | snowball | ff | rw |
@@ -110,13 +188,28 @@ struct ScenarioSpec {
 MethodKind MethodKindFromToken(const std::string& token);
 std::string MethodToken(MethodKind kind);
 
+/// Token maps of the new axes, same contract as MethodKindFromToken:
+///   walk      simple | non-backtracking | metropolis-hastings
+///   crawler   rw | frontier | mhrw | bfs | snowball | ff
+///   joint     hybrid | ie | te
+WalkKind WalkKindFromToken(const std::string& token);
+std::string WalkToken(WalkKind kind);
+CrawlerKind CrawlerKindFromToken(const std::string& token);
+std::string CrawlerToken(CrawlerKind kind);
+JointEstimatorMode JointModeFromToken(const std::string& token);
+std::string JointModeToken(JointEstimatorMode mode);
+
 /// Built-in named scenarios, runnable as `sgr run <name>`:
-///   tables-smoke    2 small dataset stand-ins, CI-sized (seconds)
-///   table2          per-property distances, Slashdot/Gowalla/Livemocha
-///   table3          avg +- SD on the six standard datasets
-///   table4-time     generation-time protocol (RC = 500)
-///   table5-youtube  the largest stand-in at 1% queried
-///   fig3-sweep      query-fraction sweep, 2%-10%
+///   tables-smoke     2 small dataset stand-ins, CI-sized (seconds)
+///   table2           per-property distances, Slashdot/Gowalla/Livemocha
+///   table3           avg +- SD on the six standard datasets
+///   table4-time      generation-time protocol (RC = 500)
+///   table5-youtube   the largest stand-in at 1% queried
+///   fig3-sweep       query-fraction sweep, 2%-10%
+///   ablation-walk    simple vs non-backtracking walk (Section II)
+///   ablation-rc      rewiring-budget sweep RC in {0..500} (Section IV-E)
+///   ablation-jdm     hybrid vs IE-only vs TE-only estimator (Sec. III-E)
+///   ablation-rewire  protected vs all-edges rewiring set (Section IV-E)
 std::vector<std::string> BuiltinScenarioNames();
 bool IsBuiltinScenario(const std::string& name);
 ScenarioSpec BuiltinScenario(const std::string& name);

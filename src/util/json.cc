@@ -370,6 +370,11 @@ const std::vector<Json>& Json::Items() const {
   return items_;
 }
 
+std::vector<Json>& Json::Items() {
+  if (kind_ != Kind::kArray) throw JsonError("JSON value is not an array");
+  return items_;
+}
+
 const Json::Members& Json::ObjectMembers() const {
   if (kind_ != Kind::kObject) throw JsonError("JSON value is not an object");
   return members_;

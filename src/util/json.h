@@ -71,6 +71,11 @@ class Json {
   const std::vector<Json>& Items() const;
   const Members& ObjectMembers() const;
 
+  /// Mutable array access (throws unless this is an array) — the
+  /// counterpart of the non-const Find, for tools that edit a parsed
+  /// document in place (report surgery in tests, `sgr diff` fixtures).
+  std::vector<Json>& Items();
+
   /// Array append (throws unless this is an array).
   void Push(Json value);
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "graph/generators.h"
 #include "sampling/random_walk.h"
@@ -212,6 +213,107 @@ TEST(EstimatorsTest, GlobalClusteringNearOneOnCompleteGraph) {
                        /*max_steps=*/30000);
   const LocalEstimates est = EstimateLocalProperties(list);
   EXPECT_NEAR(est.EstimatedGlobalClustering(), 1.0, 0.05);
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate inputs: defined sentinels instead of UB / NaN propagation
+// ---------------------------------------------------------------------------
+
+TEST(EstimatorsEdgeCaseTest, EmptyListYieldsZeroEstimates) {
+  SamplingList empty;
+  empty.is_walk = true;
+  const LocalEstimates est = EstimateLocalProperties(empty);
+  EXPECT_DOUBLE_EQ(est.num_nodes, 0.0);
+  EXPECT_DOUBLE_EQ(est.average_degree, 0.0);
+  EXPECT_TRUE(est.degree_dist.empty());
+  EXPECT_TRUE(est.clustering.empty());
+  EXPECT_TRUE(est.joint_dist.values().empty());
+  EXPECT_DOUBLE_EQ(EstimateAverageDegree(empty), 0.0);
+  EXPECT_DOUBLE_EQ(EstimateNumNodes(empty, 42.0), 42.0);
+}
+
+TEST(EstimatorsEdgeCaseTest, SingleNodeCrawlYieldsPlainStatistics) {
+  // A budget of one queried node produces a length-1 walk: too short for
+  // any re-weighted estimator, so the defined fallback is plain counts.
+  SamplingList list;
+  list.is_walk = true;
+  list.visit_sequence = {5};
+  list.neighbors[5] = {1, 2, 3};
+  const LocalEstimates est = EstimateLocalProperties(list);
+  EXPECT_DOUBLE_EQ(est.num_nodes, 4.0);  // 5 plus its three neighbors
+  EXPECT_DOUBLE_EQ(est.average_degree, 3.0);
+  ASSERT_EQ(est.degree_dist.size(), 4u);
+  EXPECT_DOUBLE_EQ(est.degree_dist[3], 1.0);
+  for (double c : est.clustering) EXPECT_DOUBLE_EQ(c, 0.0);
+  for (double value : est.degree_dist) EXPECT_TRUE(std::isfinite(value));
+}
+
+TEST(EstimatorsEdgeCaseTest, TwoStepWalkYieldsPlainStatistics) {
+  SamplingList list;
+  list.is_walk = true;
+  list.visit_sequence = {0, 1};
+  list.neighbors[0] = {1, 2};
+  list.neighbors[1] = {0};
+  const LocalEstimates est = EstimateLocalProperties(list);
+  EXPECT_DOUBLE_EQ(est.num_nodes, 3.0);  // {0, 1, 2}
+  EXPECT_DOUBLE_EQ(est.average_degree, 1.5);
+  ASSERT_EQ(est.degree_dist.size(), 3u);
+  EXPECT_DOUBLE_EQ(est.degree_dist[1], 0.5);
+  EXPECT_DOUBLE_EQ(est.degree_dist[2], 0.5);
+  EXPECT_DOUBLE_EQ(EstimateNumNodes(list, 9.0), 9.0);  // r < 3
+}
+
+TEST(EstimatorsEdgeCaseTest, ZeroEdgeCrawlYieldsZeroAverageDegree) {
+  // Every queried node isolated (a zero-edge CrawlCsr): no harmonic mean
+  // exists; the documented sentinel is zero estimates, never NaN/inf.
+  SamplingList list;
+  list.is_walk = true;
+  list.visit_sequence = {0, 1, 2, 0};
+  list.neighbors[0] = {};
+  list.neighbors[1] = {};
+  list.neighbors[2] = {};
+  EXPECT_DOUBLE_EQ(EstimateAverageDegree(list), 0.0);
+  const LocalEstimates est = EstimateLocalProperties(list);
+  EXPECT_DOUBLE_EQ(est.average_degree, 0.0);
+  EXPECT_TRUE(std::isfinite(est.num_nodes));
+  for (double value : est.degree_dist) EXPECT_TRUE(std::isfinite(value));
+  for (double value : est.clustering) EXPECT_TRUE(std::isfinite(value));
+}
+
+TEST(EstimatorsEdgeCaseTest, NonWalkSampleIsRejectedNotMisestimated) {
+  // Re-weighting a BFS/snowball crawl silently produces biased numbers;
+  // the contract is an exception, not garbage.
+  SamplingList crawl;
+  crawl.is_walk = false;
+  crawl.visit_sequence = {0, 1, 2, 3};
+  crawl.neighbors[0] = {1, 2};
+  crawl.neighbors[1] = {0, 3};
+  crawl.neighbors[2] = {0};
+  crawl.neighbors[3] = {1};
+  EXPECT_THROW(EstimateLocalProperties(crawl), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(EstimateAverageDegree(crawl), 0.0);
+  EXPECT_DOUBLE_EQ(EstimateNumNodes(crawl, 7.0), 7.0);
+}
+
+TEST(EstimatorsEdgeCaseTest, ThreeStepWalkUsesTheRealEstimators) {
+  // r = 3 is the smallest length the re-weighted machinery accepts; all
+  // outputs must be finite.
+  SamplingList list;
+  list.is_walk = true;
+  list.visit_sequence = {0, 1, 0};
+  list.neighbors[0] = {1, 2};
+  list.neighbors[1] = {0, 2};
+  list.neighbors[2] = {0, 1};
+  const LocalEstimates est = EstimateLocalProperties(list);
+  EXPECT_TRUE(std::isfinite(est.num_nodes));
+  EXPECT_TRUE(std::isfinite(est.average_degree));
+  EXPECT_GT(est.average_degree, 0.0);
+  for (double value : est.degree_dist) EXPECT_TRUE(std::isfinite(value));
+  for (double value : est.clustering) EXPECT_TRUE(std::isfinite(value));
+  for (const auto& [key, value] : est.joint_dist.values()) {
+    (void)key;
+    EXPECT_TRUE(std::isfinite(value));
+  }
 }
 
 TEST(EstimatorsTest, EstimatesImproveWithWalkLength) {

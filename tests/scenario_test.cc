@@ -3,6 +3,8 @@
 #include "scenario/spec.h"
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -47,7 +49,13 @@ TEST(ScenarioSpecTest, ParsesFullDocument) {
     "trials": 4,
     "threads": 2,
     "seed_base": 99,
-    "rc": 25,
+    "walk": ["simple", "non-backtracking"],
+    "crawler": "rw",
+    "estimator": [{"joint_mode": "hybrid"},
+                  {"joint_mode": "te", "collision_fraction": 0.05}],
+    "rc": [25, 50],
+    "protect_subgraph": [true, false],
+    "frontier_walkers": 12,
     "rewire_batch": 64,
     "rewire_threads": 3,
     "path_sources": 30,
@@ -71,23 +79,146 @@ TEST(ScenarioSpecTest, ParsesFullDocument) {
   EXPECT_EQ(spec.trials, 4u);
   EXPECT_EQ(spec.threads, 2u);
   EXPECT_EQ(spec.seed_base, 99u);
-  EXPECT_DOUBLE_EQ(spec.rc, 25.0);
+  EXPECT_EQ(spec.walks, (std::vector<WalkKind>{
+                            WalkKind::kSimple, WalkKind::kNonBacktracking}));
+  EXPECT_EQ(spec.crawlers, (std::vector<CrawlerKind>{CrawlerKind::kRw}));
+  ASSERT_EQ(spec.estimators.size(), 2u);
+  EXPECT_EQ(spec.estimators[0].joint_mode, JointEstimatorMode::kHybrid);
+  EXPECT_DOUBLE_EQ(spec.estimators[0].collision_fraction, 0.025);
+  EXPECT_EQ(spec.estimators[1].joint_mode,
+            JointEstimatorMode::kTraversedEdgesOnly);
+  EXPECT_DOUBLE_EQ(spec.estimators[1].collision_fraction, 0.05);
+  EXPECT_EQ(spec.rcs, (std::vector<double>{25.0, 50.0}));
+  EXPECT_EQ(spec.protects, (std::vector<bool>{true, false}));
+  EXPECT_EQ(spec.frontier_walkers, 12u);
   EXPECT_EQ(spec.rewire_batch, 64u);
   EXPECT_EQ(spec.rewire_threads, 3u);
   const ExperimentConfig config = spec.ToExperimentConfig(0.1);
   EXPECT_EQ(config.restoration.parallel_rewire.batch_size, 64u);
   EXPECT_EQ(config.restoration.parallel_rewire.threads, 3u);
+  EXPECT_EQ(config.walk, WalkKind::kSimple);       // first axis value
+  EXPECT_EQ(config.crawler, CrawlerKind::kRw);
+  EXPECT_EQ(config.frontier_walkers, 12u);
+  EXPECT_DOUBLE_EQ(config.restoration.rewire.rewiring_coefficient, 25.0);
+  EXPECT_TRUE(config.restoration.protect_subgraph);
   EXPECT_EQ(spec.path_sources, 30u);
   EXPECT_EQ(spec.snowball_k, 10u);
   EXPECT_DOUBLE_EQ(spec.forest_fire_pf, 0.5);
   EXPECT_TRUE(spec.simplify_output);
   EXPECT_DOUBLE_EQ(spec.dataset_scale, 0.5);
+  // 2 fractions x 2 walks x 2 estimators x 2 rcs x 2 protects.
+  EXPECT_EQ(spec.ExpandKnobs().size(), 32u);
+}
+
+TEST(ScenarioSpecTest, AxesAcceptScalarAndArrayForms) {
+  const ScenarioSpec scalar = ScenarioSpec::FromJson(Json::Parse(R"({
+    "datasets": ["anybeat"],
+    "walk": "non-backtracking",
+    "crawler": "rw",
+    "estimator": {"joint_mode": "ie"},
+    "rc": 75,
+    "protect_subgraph": false,
+    "methods": ["proposed"]
+  })"));
+  EXPECT_EQ(scalar.walks,
+            (std::vector<WalkKind>{WalkKind::kNonBacktracking}));
+  ASSERT_EQ(scalar.estimators.size(), 1u);
+  EXPECT_EQ(scalar.estimators[0].joint_mode,
+            JointEstimatorMode::kInducedEdgesOnly);
+  EXPECT_EQ(scalar.rcs, (std::vector<double>{75.0}));
+  EXPECT_EQ(scalar.protects, (std::vector<bool>{false}));
+  // The NBRW walk axis derives the estimator normalizer in the config.
+  EXPECT_EQ(scalar.ToExperimentConfig(0.1).restoration.estimator.walk_type,
+            WalkType::kNonBacktracking);
+
+  const ScenarioSpec array = ScenarioSpec::FromJson(Json::Parse(R"({
+    "datasets": ["anybeat"],
+    "crawler": ["rw", "frontier", "mhrw"],
+    "methods": ["rw", "gjoka", "proposed"]
+  })"));
+  EXPECT_EQ(array.crawlers,
+            (std::vector<CrawlerKind>{CrawlerKind::kRw,
+                                      CrawlerKind::kFrontier,
+                                      CrawlerKind::kMhrw}));
+  EXPECT_EQ(array.ExpandKnobs().size(), 3u);
+}
+
+TEST(ScenarioSpecTest, CrossAxisRulesEnforced) {
+  // A non-walk crawler cannot feed the generative methods...
+  EXPECT_THROW(ScenarioSpec::FromJson(Json::Parse(R"({
+    "datasets": ["anybeat"], "crawler": "bfs"
+  })")),
+               ScenarioError);
+  EXPECT_THROW(ScenarioSpec::FromJson(Json::Parse(R"({
+    "datasets": ["anybeat"], "crawler": ["rw", "ff"],
+    "methods": ["rw", "proposed"]
+  })")),
+               ScenarioError);
+  // ...but is fine for the subgraph-sampling methods.
+  const ScenarioSpec subgraph_only = ScenarioSpec::FromJson(Json::Parse(R"({
+    "datasets": ["anybeat"], "crawler": ["bfs", "snowball", "ff"],
+    "methods": ["rw"]
+  })"));
+  EXPECT_EQ(subgraph_only.crawlers.size(), 3u);
+  // A non-simple walk only applies to the rw crawler.
+  EXPECT_THROW(ScenarioSpec::FromJson(Json::Parse(R"({
+    "datasets": ["anybeat"], "walk": "non-backtracking",
+    "crawler": "frontier", "methods": ["rw"]
+  })")),
+               ScenarioError);
 }
 
 TEST(ScenarioSpecTest, RoundTripsThroughJson) {
   const ScenarioSpec spec = BuiltinScenario("fig3-sweep");
   const ScenarioSpec reparsed = ScenarioSpec::FromJson(spec.ToJson());
   EXPECT_EQ(spec.ToJson(), reparsed.ToJson());
+}
+
+TEST(ScenarioSpecTest, EveryBuiltinRoundTripsToAnEqualSpec) {
+  // `sgr scenarios show <name>` prints ToJson().Dump(2); a user must be
+  // able to feed that document straight back to `sgr run`. Lock the full
+  // cycle for every built-in (including the multi-axis ablation specs):
+  // parse(show output) -> serialize -> re-parse -> byte-equal documents,
+  // and the axis fields survive intact.
+  for (const std::string& name : BuiltinScenarioNames()) {
+    const ScenarioSpec spec = BuiltinScenario(name);
+    EXPECT_NO_THROW(spec.Validate()) << name;
+    const std::string shown = spec.ToJson().Dump(2);
+    const ScenarioSpec reparsed = ScenarioSpec::FromJson(Json::Parse(shown));
+    EXPECT_EQ(shown, reparsed.ToJson().Dump(2)) << name;
+    EXPECT_EQ(spec.walks, reparsed.walks) << name;
+    EXPECT_EQ(spec.crawlers, reparsed.crawlers) << name;
+    EXPECT_EQ(spec.rcs, reparsed.rcs) << name;
+    EXPECT_EQ(spec.protects, reparsed.protects) << name;
+    EXPECT_EQ(spec.estimators.size(), reparsed.estimators.size()) << name;
+    for (std::size_t i = 0; i < spec.estimators.size(); ++i) {
+      EXPECT_TRUE(spec.estimators[i] == reparsed.estimators[i]) << name;
+    }
+  }
+}
+
+TEST(ScenarioSpecTest, AblationBuiltinsSweepTheirAxes) {
+  EXPECT_EQ(BuiltinScenario("ablation-walk").walks,
+            (std::vector<WalkKind>{WalkKind::kSimple,
+                                   WalkKind::kNonBacktracking}));
+  EXPECT_EQ(BuiltinScenario("ablation-rc").rcs,
+            (std::vector<double>{0.0, 10.0, 50.0, 100.0, 250.0, 500.0}));
+  const ScenarioSpec jdm = BuiltinScenario("ablation-jdm");
+  ASSERT_EQ(jdm.estimators.size(), 3u);
+  EXPECT_EQ(jdm.estimators[0].joint_mode, JointEstimatorMode::kHybrid);
+  EXPECT_EQ(jdm.estimators[1].joint_mode,
+            JointEstimatorMode::kInducedEdgesOnly);
+  EXPECT_EQ(jdm.estimators[2].joint_mode,
+            JointEstimatorMode::kTraversedEdgesOnly);
+  EXPECT_EQ(BuiltinScenario("ablation-rewire").protects,
+            (std::vector<bool>{true, false}));
+  // Each ablation pins the method list to the proposed pipeline.
+  for (const char* name :
+       {"ablation-walk", "ablation-rc", "ablation-jdm", "ablation-rewire"}) {
+    EXPECT_EQ(BuiltinScenario(name).methods,
+              (std::vector<MethodKind>{MethodKind::kProposed}))
+        << name;
+  }
 }
 
 TEST(ScenarioSpecTest, ValidationErrors) {
@@ -111,6 +242,27 @@ TEST(ScenarioSpecTest, ValidationErrors) {
       R"({"datasets": ["anybeat"], "trials": 2.5})",
       R"({"datasets": ["anybeat"], "trials": -1})",
       R"({"datasets": ["anybeat"], "rc": -5})",
+      R"({"datasets": ["anybeat"], "rc": []})",
+      R"({"datasets": ["anybeat"], "rc": [10, 10]})",
+      R"({"datasets": ["anybeat"], "walk": "warp"})",
+      R"({"datasets": ["anybeat"], "walk": []})",
+      R"({"datasets": ["anybeat"], "walk": ["simple", "simple"]})",
+      R"({"datasets": ["anybeat"], "walk": 3})",
+      R"({"datasets": ["anybeat"], "crawler": "warp"})",
+      R"({"datasets": ["anybeat"], "crawler": ["rw", "rw"]})",
+      R"({"datasets": ["anybeat"], "estimator": "hybrid"})",
+      R"({"datasets": ["anybeat"], "estimator": {"joint_mode": "warp"}})",
+      R"({"datasets": ["anybeat"], "estimator": {"typo": 1}})",
+      R"({"datasets": ["anybeat"],
+          "estimator": [{"joint_mode": "ie"}, {"joint_mode": "ie"}]})",
+      R"({"datasets": ["anybeat"],
+          "estimator": {"collision_fraction": 0}})",
+      R"({"datasets": ["anybeat"],
+          "estimator": {"collision_fraction": 1}})",
+      R"({"datasets": ["anybeat"], "protect_subgraph": []})",
+      R"({"datasets": ["anybeat"], "protect_subgraph": [true, true]})",
+      R"({"datasets": ["anybeat"], "protect_subgraph": 1})",
+      R"({"datasets": ["anybeat"], "frontier_walkers": 0})",
       R"({"datasets": ["anybeat"], "snowball_k": 0})",
       R"({"datasets": ["anybeat"], "forest_fire_pf": 1})",
       R"({"datasets": ["anybeat"], "simplify_output": "yes"})",
@@ -122,6 +274,90 @@ TEST(ScenarioSpecTest, ValidationErrors) {
     EXPECT_THROW(ScenarioSpec::FromJson(Json::Parse(text)), ScenarioError)
         << "spec: " << text;
   }
+}
+
+TEST(ScenarioSpecTest, NonFiniteNumbersRejectedForEveryNumericKnob) {
+  // The JSON layer deliberately admits Infinity/NaN literals (the writer
+  // emits them for round-trip fidelity), so every numeric knob must
+  // reject them during spec parsing — otherwise NaN flows silently into
+  // ExperimentConfig. One regression case per field and literal.
+  const char* templates[] = {
+      R"({"datasets": ["anybeat"], "fractions": [%]})",
+      R"({"datasets": ["anybeat"], "trials": %})",
+      R"({"datasets": ["anybeat"], "threads": %})",
+      R"({"datasets": ["anybeat"], "seed_base": %})",
+      R"({"datasets": ["anybeat"], "rc": %})",
+      R"({"datasets": ["anybeat"], "rc": [%]})",
+      R"({"datasets": ["anybeat"],
+          "estimator": {"collision_fraction": %}})",
+      R"({"datasets": ["anybeat"], "frontier_walkers": %})",
+      R"({"datasets": ["anybeat"], "rewire_batch": %})",
+      R"({"datasets": ["anybeat"], "rewire_threads": %})",
+      R"({"datasets": ["anybeat"], "path_sources": %})",
+      R"({"datasets": ["anybeat"], "snowball_k": %})",
+      R"({"datasets": ["anybeat"], "forest_fire_pf": %})",
+      R"({"datasets": ["anybeat"], "dataset_scale": %})",
+      R"({"datasets": [{"nodes": %}]})",
+      R"({"datasets": [{"edges_per_node": %}]})",
+      R"({"datasets": [{"triad_p": %}]})",
+      R"({"datasets": [{"fringe_fraction": %}]})",
+      R"({"datasets": [{"model": "er", "edges": %}]})",
+      R"({"datasets": [{"model": "community", "communities": %}]})",
+      R"({"datasets": [{"model": "community", "bridges": %}]})",
+      R"({"datasets": [{"seed": %}]})",
+  };
+  for (const char* tmpl : templates) {
+    for (const char* literal : {"NaN", "Infinity", "-Infinity"}) {
+      std::string text(tmpl);
+      text.replace(text.find('%'), 1, literal);
+      EXPECT_THROW(ScenarioSpec::FromJson(Json::Parse(text)),
+                   ScenarioError)
+          << "spec: " << text;
+    }
+  }
+}
+
+TEST(ScenarioSpecTest, ValidateCatchesProgrammaticallyBuiltBadSpecs) {
+  // Specs built in C++ never pass through FromJson; Validate (called by
+  // RunScenario) is their only gate. Non-finite values and empty axes
+  // must throw rather than reach the engine.
+  const auto valid = [] {
+    ScenarioSpec spec;
+    spec.datasets.push_back({"anybeat", {}});
+    return spec;
+  };
+  EXPECT_NO_THROW(valid().Validate());
+
+  ScenarioSpec nan_fraction = valid();
+  nan_fraction.fractions = {std::nan("")};
+  EXPECT_THROW(nan_fraction.Validate(), ScenarioError);
+
+  ScenarioSpec inf_rc = valid();
+  inf_rc.rcs = {std::numeric_limits<double>::infinity()};
+  EXPECT_THROW(inf_rc.Validate(), ScenarioError);
+
+  ScenarioSpec nan_pf = valid();
+  nan_pf.forest_fire_pf = std::nan("");
+  EXPECT_THROW(nan_pf.Validate(), ScenarioError);
+
+  ScenarioSpec nan_scale = valid();
+  nan_scale.dataset_scale = std::nan("");
+  EXPECT_THROW(nan_scale.Validate(), ScenarioError);
+
+  ScenarioSpec nan_collision = valid();
+  nan_collision.estimators[0].collision_fraction = std::nan("");
+  EXPECT_THROW(nan_collision.Validate(), ScenarioError);
+
+  ScenarioSpec empty_walks = valid();
+  empty_walks.walks.clear();
+  EXPECT_THROW(empty_walks.Validate(), ScenarioError);
+
+  ScenarioSpec no_methods = valid();
+  no_methods.methods.clear();
+  EXPECT_THROW(no_methods.Validate(), ScenarioError);
+
+  // RunScenario refuses the same specs before loading any dataset.
+  EXPECT_THROW(RunScenario(nan_fraction, 1), ScenarioError);
 }
 
 TEST(ScenarioSpecTest, GeneratorPreconditionsRejectedNotCrashed) {
@@ -357,6 +593,170 @@ TEST(ScenarioEngineTest,
     }
   }
   EXPECT_TRUE(saw_rounds);
+}
+
+/// Downsized ablation-style spec: every new axis active at once on a
+/// hermetic generator dataset, methods pinned to the walk-based trio.
+ScenarioSpec TinyAxisSpec() {
+  return ScenarioSpec::FromJson(Json::Parse(R"({
+    "name": "tiny-axes",
+    "datasets": [{"name": "tiny-powerlaw", "model": "powerlaw",
+                  "nodes": 150, "edges_per_node": 3, "triad_p": 0.4,
+                  "seed": 11}],
+    "fractions": [0.15],
+    "methods": ["rw", "gjoka", "proposed"],
+    "walk": ["simple", "non-backtracking"],
+    "estimator": [{"joint_mode": "hybrid"}, {"joint_mode": "te"}],
+    "rc": [5, 20],
+    "protect_subgraph": [true, false],
+    "trials": 2,
+    "seed_base": 4321,
+    "path_sources": 20
+  })"));
+}
+
+TEST(ScenarioEngineTest, CellsEchoTheirKnobCoordinates) {
+  const ScenarioSpec spec = TinyAxisSpec();
+  const ScenarioRunResult result = RunScenario(spec, 1);
+  // 1 dataset x 1 fraction x 2 walks x 2 estimators x 2 rcs x 2 protects.
+  ASSERT_EQ(result.cells.size(), 16u);
+  std::uint64_t expected_seed = 4321;
+  std::size_t index = 0;
+  for (WalkKind walk : {WalkKind::kSimple, WalkKind::kNonBacktracking}) {
+    for (JointEstimatorMode joint :
+         {JointEstimatorMode::kHybrid,
+          JointEstimatorMode::kTraversedEdgesOnly}) {
+      for (double rc : {5.0, 20.0}) {
+        for (bool protect : {true, false}) {
+          const ScenarioCell& cell = result.cells[index];
+          EXPECT_EQ(cell.walk, walk) << index;
+          EXPECT_EQ(cell.crawler, CrawlerKind::kRw) << index;
+          EXPECT_EQ(cell.joint_mode, joint) << index;
+          EXPECT_DOUBLE_EQ(cell.rc, rc) << index;
+          EXPECT_EQ(cell.protect_subgraph, protect) << index;
+          EXPECT_EQ(cell.seed_base, expected_seed) << index;
+          // The walk-based trio shares one sample: identical steps.
+          const double rw_steps =
+              cell.methods.at(MethodKind::kRandomWalk).sample_steps;
+          EXPECT_GT(rw_steps, 0.0) << index;
+          EXPECT_DOUBLE_EQ(
+              cell.methods.at(MethodKind::kGjoka).sample_steps, rw_steps)
+              << index;
+          EXPECT_DOUBLE_EQ(
+              cell.methods.at(MethodKind::kProposed).sample_steps,
+              rw_steps)
+              << index;
+          expected_seed += 2;  // trials per cell
+          ++index;
+        }
+      }
+    }
+  }
+  // The knob echo reaches the report JSON (outside "timings", so it
+  // survives StripVolatile and `sgr diff` can pair on it).
+  const Json report = StripVolatile(ScenarioReportToJson(result));
+  const Json& first = report.Find("cells")->Items()[0];
+  EXPECT_EQ(first.Find("walk")->AsString(), "simple");
+  EXPECT_EQ(first.Find("crawler")->AsString(), "rw");
+  EXPECT_EQ(first.Find("estimator")->Find("joint_mode")->AsString(),
+            "hybrid");
+  EXPECT_DOUBLE_EQ(first.Find("rc")->AsNumber(), 5.0);
+  EXPECT_TRUE(first.Find("protect_subgraph")->AsBool());
+  EXPECT_NE(first.Find("methods")->Items()[0].Find("sample_steps"),
+            nullptr);
+}
+
+TEST(ScenarioEngineTest, AxisSweepsActuallyChangeTheWorkload) {
+  const ScenarioRunResult result = RunScenario(TinyAxisSpec(), 1);
+  ASSERT_EQ(result.cells.size(), 16u);
+  // NBRW needs fewer steps than SRW for the same query budget (its
+  // query efficiency — the walk ablation's headline).
+  const double srw_steps =
+      result.cells[0].methods.at(MethodKind::kProposed).sample_steps;
+  const double nbrw_steps =
+      result.cells[8].methods.at(MethodKind::kProposed).sample_steps;
+  EXPECT_LT(nbrw_steps, srw_steps);
+  // The unprotected candidate set must differ from the protected one in
+  // the rewire trajectory (same seeds otherwise).
+  const RewireAggregate& protected_rewire =
+      result.cells[0].methods.at(MethodKind::kProposed).rewire;
+  const RewireAggregate& unprotected_rewire =
+      result.cells[1].methods.at(MethodKind::kProposed).rewire;
+  EXPECT_NE(protected_rewire.accepted, unprotected_rewire.accepted);
+}
+
+TEST(ScenarioEngineTest, MultiAxisReportByteIdenticalAcrossThreadCounts) {
+  // The determinism contract extended to the full axis matrix: every
+  // cell of the ablation-style spec reproduces byte-identically at any
+  // trial thread count.
+  const ScenarioSpec spec = TinyAxisSpec();
+  const std::string a =
+      StripVolatile(ScenarioReportToJson(RunScenario(spec, 1))).Dump(2);
+  const std::string b =
+      StripVolatile(ScenarioReportToJson(RunScenario(spec, 4))).Dump(2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ScenarioEngineTest, NonWalkCrawlerRunsSubgraphMethods) {
+  // A bfs/snowball/ff crawler is valid without generative methods; the
+  // rw method then means "subgraph of that crawl".
+  ScenarioSpec spec = ScenarioSpec::FromJson(Json::Parse(R"({
+    "name": "crawlers",
+    "datasets": [{"name": "tiny-powerlaw", "model": "powerlaw",
+                  "nodes": 150, "edges_per_node": 3, "triad_p": 0.4,
+                  "seed": 11}],
+    "fractions": [0.2],
+    "methods": ["rw"],
+    "crawler": ["rw", "frontier", "mhrw", "bfs", "snowball", "ff"],
+    "trials": 2,
+    "seed_base": 77,
+    "path_sources": 20
+  })"));
+  const ScenarioRunResult result = RunScenario(spec, 1);
+  ASSERT_EQ(result.cells.size(), 6u);
+  for (const ScenarioCell& cell : result.cells) {
+    const MethodAggregate& aggregate =
+        cell.methods.at(MethodKind::kRandomWalk);
+    EXPECT_GT(aggregate.sample_steps, 0.0)
+        << CrawlerToken(cell.crawler);
+    EXPECT_EQ(aggregate.distances.Summarize().runs, 2u)
+        << CrawlerToken(cell.crawler);
+  }
+  // Different crawlers produce different samples: the bfs cell's steps
+  // differ from the rw cell's (queried-node count vs walk length).
+  EXPECT_NE(
+      result.cells[0].methods.at(MethodKind::kRandomWalk).sample_steps,
+      result.cells[3].methods.at(MethodKind::kRandomWalk).sample_steps);
+}
+
+TEST(ScenarioEngineTest, CellSeedingWrapsDeterministicallyNearUint64Max) {
+  // The seeding contract (engine.h): seed_base + c * trials + i wraps
+  // modulo 2^64 by design. A spec whose seed_base sits 1 trial short of
+  // UINT64_MAX must run, wrap, and reproduce byte-identically.
+  ScenarioSpec spec = ScenarioSpec::FromJson(Json::Parse(R"({
+    "name": "wrap",
+    "datasets": [{"name": "tiny-powerlaw", "model": "powerlaw",
+                  "nodes": 150, "edges_per_node": 3, "triad_p": 0.4,
+                  "seed": 11}],
+    "fractions": [0.1, 0.2],
+    "methods": ["proposed"],
+    "trials": 2,
+    "rc": 5,
+    "path_sources": 20
+  })"));
+  spec.seed_base = std::numeric_limits<std::uint64_t>::max() - 1;
+  const ScenarioRunResult result = RunScenario(spec, 1);
+  ASSERT_EQ(result.cells.size(), 2u);
+  // Cell 0 spans seeds {2^64-2, 2^64-1}; cell 1 wraps to base 0.
+  EXPECT_EQ(result.cells[0].seed_base,
+            std::numeric_limits<std::uint64_t>::max() - 1);
+  EXPECT_EQ(result.cells[1].seed_base, 0u);
+  // Deterministic across repetitions and thread counts, wrap included.
+  const std::string a =
+      StripVolatile(ScenarioReportToJson(result)).Dump(2);
+  const std::string b =
+      StripVolatile(ScenarioReportToJson(RunScenario(spec, 2))).Dump(2);
+  EXPECT_EQ(a, b);
 }
 
 TEST(ScenarioEngineTest, RunScenarioCellMatchesDirectRunExperiments) {

@@ -44,6 +44,16 @@
 //   sgr scenarios show tables-smoke
 //       Enumerate the built-in scenarios / print one as a scenario.json
 //       starting point.
+//
+//   sgr diff old.json new.json [--l1-tol X] [--time-tol R] [--no-timings]
+//       Compare two sgr-report/1 files: cells are paired by (dataset,
+//       fraction, walk, crawler, estimator, rc, protect_subgraph) and
+//       each method aggregate is checked for deterministic L1 drift
+//       (tolerance --l1-tol, default 1e-9 — same spec + seed must
+//       reproduce the same numbers) and timing slowdowns (relative
+//       tolerance --time-tol, default 0.5 = +50%; --no-timings 1 skips
+//       them entirely). Exits 1 when any regression is found, so CI can
+//       gate on a checked-in baseline.
 
 #include <cstdlib>
 #include <fstream>
@@ -73,6 +83,7 @@
 #include "sampling/non_backtracking.h"
 #include "sampling/random_walk.h"
 #include "sampling/snowball.h"
+#include "scenario/diff.h"
 #include "scenario/engine.h"
 #include "scenario/report.h"
 #include "scenario/spec.h"
@@ -338,6 +349,31 @@ int CmdRun(const std::string& source, const Args& args) {
   return 0;
 }
 
+/// sgr diff <old.json> <new.json> [--l1-tol X] [--time-tol R]
+/// [--no-timings 1]
+int CmdDiff(const std::string& old_path, const std::string& new_path,
+            const Args& args) {
+  const auto load = [](const std::string& path) {
+    std::ifstream in(path);
+    if (!in) {
+      throw std::runtime_error("cannot read report '" + path + "'");
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    return Json::Parse(text.str());
+  };
+  DiffOptions options;
+  options.l1_tolerance = args.GetDouble("l1-tol", options.l1_tolerance);
+  options.time_tolerance =
+      args.GetDouble("time-tol", options.time_tolerance);
+  options.compare_timings = args.GetOr("no-timings", "0") != "1";
+
+  const DiffResult result =
+      DiffReports(load(old_path), load(new_path), options);
+  PrintDiff(result, std::cout);
+  return result.HasRegression() ? 1 : 0;
+}
+
 /// sgr scenarios list | show <name>
 int CmdScenarios(int argc, char** argv) {
   const std::string verb = argc > 2 ? argv[2] : "list";
@@ -382,6 +418,8 @@ void PrintUsage() {
       "            [--threads N]   (or SGR_THREADS; 0 = all cores)\n"
       "            [--rewire-threads N]   (or SGR_REWIRE_THREADS; used\n"
       "            when the spec sets rewire_batch > 0)\n"
+      "  diff      OLD.json NEW.json [--l1-tol X] [--time-tol R]\n"
+      "            [--no-timings 1]   (exit 1 on regression)\n"
       "  scenarios list | show NAME\n";
 }
 
@@ -401,6 +439,14 @@ int main(int argc, char** argv) {
             "[--threads N] [--rewire-threads N]");
       }
       return CmdRun(argv[2], Args(argc, argv, 3));
+    }
+    if (command == "diff") {
+      if (argc < 4 || argv[2][0] == '-' || argv[3][0] == '-') {
+        throw std::runtime_error(
+            "usage: sgr diff <old.json> <new.json> [--l1-tol X] "
+            "[--time-tol R] [--no-timings 1]");
+      }
+      return CmdDiff(argv[2], argv[3], Args(argc, argv, 4));
     }
     if (command == "scenarios") return CmdScenarios(argc, argv);
     Args args(argc, argv, 2);
