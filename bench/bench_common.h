@@ -260,6 +260,12 @@ inline int RunBuiltinScenarioBench(const std::string& name, int argc,
     }
     knobs += "/rc " + TablePrinter::Fixed(cell.rc, 0);
     if (!cell.protect_subgraph) knobs += "/unprotected";
+    if (cell.rewire_batch != 0) {
+      knobs += "/batch " + std::to_string(cell.rewire_batch);
+    }
+    if (cell.crawler == CrawlerKind::kFrontier) {
+      knobs += "/walkers " + std::to_string(cell.frontier_walkers);
+    }
     for (const auto& [kind, aggregate] : cell.methods) {
       const DistanceSummary summary = aggregate.distances.Summarize();
       table.AddRow({cell.dataset, knobs, MethodName(kind),

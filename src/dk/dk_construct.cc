@@ -4,40 +4,50 @@
 #include <stdexcept>
 #include <string>
 
+#include "exp/parallel.h"
+
 namespace sgr {
 
-JointDegreeMatrix SubgraphClassEdges(
-    const Graph& base,
-    const std::vector<std::uint32_t>& base_target_degrees) {
-  JointDegreeMatrix m_prime;
-  for (const Edge& e : base.edges()) {
-    m_prime.AddSymmetric(base_target_degrees[e.u], base_target_degrees[e.v],
-                         1);
-  }
-  return m_prime;
-}
+namespace {
 
-Graph ConstructPreservingTargets(
+/// Stream tags of the parallel assembly engine's derived RNG streams
+/// (see DeriveRoundSeed): one for the added-node degree shuffle, one per
+/// class pair for the stub draws.
+constexpr std::uint64_t kAssemblyShuffleStream = 0xA5E0ULL;
+constexpr std::uint64_t kAssemblyPairStream = 0xA5E1ULL;
+
+/// Shared prologue of both assembly engines (Algorithm 5, lines 1-12):
+/// validates the targets against the base, adds the missing nodes (their
+/// degree sequence shuffled by `shuffle_rng`), and pools the free
+/// half-edges by target degree class.
+struct AssemblyState {
+  Graph result;
+  std::vector<std::vector<NodeId>> stubs;
+  std::size_t k_max = 0;
+};
+
+AssemblyState BuildAssemblyState(
     const Graph& base, const std::vector<std::uint32_t>& base_target_degrees,
-    const DegreeVector& n_star, const JointDegreeMatrix& m_star, Rng& rng) {
+    const DegreeVector& n_star, Rng& shuffle_rng) {
   if (base_target_degrees.size() != base.NumNodes()) {
     throw std::logic_error(
         "ConstructPreservingTargets: one target degree per base node "
         "required");
   }
-  const std::size_t k_max = n_star.empty() ? 0 : n_star.size() - 1;
+  AssemblyState state;
+  state.k_max = n_star.empty() ? 0 : n_star.size() - 1;
 
   // n'(k): base nodes per target-degree class.
   DegreeVector n_prime(n_star.size(), 0);
   for (std::uint32_t d : base_target_degrees) {
-    if (d > k_max) {
+    if (d > state.k_max) {
       throw std::logic_error(
           "ConstructPreservingTargets: base target degree exceeds k*_max");
     }
     ++n_prime[d];
   }
 
-  Graph result = base;
+  state.result = base;
   const std::int64_t total_nodes = DegreeVectorNodes(n_star);
   const auto base_nodes = static_cast<std::int64_t>(base.NumNodes());
   if (total_nodes < base_nodes) {
@@ -61,11 +71,12 @@ Graph ConstructPreservingTargets(
       added_degrees.push_back(static_cast<std::uint32_t>(k));
     }
   }
-  std::shuffle(added_degrees.begin(), added_degrees.end(), rng.engine());
+  std::shuffle(added_degrees.begin(), added_degrees.end(),
+               shuffle_rng.engine());
 
   // Attach half-edges (stubs): d*_i - d'_i per base node, d*_i per added
   // node, pooled by target degree (lines 9-12).
-  std::vector<std::vector<NodeId>> stubs(n_star.size());
+  state.stubs.assign(n_star.size(), {});
   for (NodeId v = 0; v < base.NumNodes(); ++v) {
     const std::uint32_t target = base_target_degrees[v];
     const std::size_t have = base.Degree(v);
@@ -73,25 +84,83 @@ Graph ConstructPreservingTargets(
       throw std::logic_error(
           "ConstructPreservingTargets: base degree exceeds target degree");
     }
-    for (std::size_t s = have; s < target; ++s) stubs[target].push_back(v);
+    for (std::size_t s = have; s < target; ++s) {
+      state.stubs[target].push_back(v);
+    }
   }
   for (std::uint32_t d : added_degrees) {
-    const NodeId v = result.AddNode();
-    for (std::uint32_t s = 0; s < d; ++s) stubs[d].push_back(v);
+    const NodeId v = state.result.AddNode();
+    for (std::uint32_t s = 0; s < d; ++s) state.stubs[d].push_back(v);
   }
+  return state;
+}
+
+void CheckNoLeftoverStubs(const AssemblyState& state) {
+  // Iterate the pools that exist: an empty n_star ({} targets — a legal
+  // degenerate input that must yield an empty graph) has no pools at
+  // all, while k_max is still 0.
+  for (std::size_t k = 0; k < state.stubs.size(); ++k) {
+    if (!state.stubs[k].empty()) {
+      throw std::logic_error(
+          "ConstructPreservingTargets: leftover free half-edges at degree " +
+          std::to_string(k) + " (JDM-3 violated)");
+    }
+  }
+}
+
+[[noreturn]] void ThrowStubExhausted() {
+  throw std::logic_error(
+      "ConstructPreservingTargets: stub pool exhausted (JDM-3 violated)");
+}
+
+/// Swap-with-back pop at a pre-drawn index — the commit-phase half of
+/// pop_random, with the random index supplied by the draw phase.
+NodeId PopAt(std::vector<NodeId>& pool, std::size_t idx) {
+  const NodeId v = pool[idx];
+  pool[idx] = pool.back();
+  pool.pop_back();
+  return v;
+}
+
+/// One class pair (k, k') of the parallel engine's wiring schedule, with
+/// its pre-computed stub-pool starting sizes and its pre-drawn pick
+/// indices (filled by the draw phase).
+struct PairSchedule {
+  std::uint32_t k = 0;
+  std::uint32_t kp = 0;
+  std::int64_t need = 0;
+  std::size_t size_k_start = 0;   ///< stubs[k] size when this pair commits
+  std::size_t size_kp_start = 0;  ///< stubs[kp] size (== size_k for k==kp)
+  std::vector<std::size_t> picks; ///< 2 * need indices, draw order
+};
+
+}  // namespace
+
+JointDegreeMatrix SubgraphClassEdges(
+    const Graph& base,
+    const std::vector<std::uint32_t>& base_target_degrees) {
+  JointDegreeMatrix m_prime;
+  for (const Edge& e : base.edges()) {
+    m_prime.AddSymmetric(base_target_degrees[e.u], base_target_degrees[e.v],
+                         1);
+  }
+  return m_prime;
+}
+
+Graph ConstructPreservingTargets(
+    const Graph& base, const std::vector<std::uint32_t>& base_target_degrees,
+    const DegreeVector& n_star, const JointDegreeMatrix& m_star, Rng& rng) {
+  AssemblyState state =
+      BuildAssemblyState(base, base_target_degrees, n_star, rng);
 
   // Wire free half-edges class pair by class pair (lines 13-16).
   const JointDegreeMatrix m_prime =
       SubgraphClassEdges(base, base_target_degrees);
   auto pop_random = [&rng](std::vector<NodeId>& pool) {
-    const std::size_t idx = rng.NextIndex(pool.size());
-    const NodeId v = pool[idx];
-    pool[idx] = pool.back();
-    pool.pop_back();
-    return v;
+    return PopAt(pool, rng.NextIndex(pool.size()));
   };
-  for (std::uint32_t k = 1; k <= k_max; ++k) {
-    for (std::uint32_t kp = k; kp <= k_max; ++kp) {
+  for (std::uint32_t k = 1; k <= state.k_max; ++k) {
+    for (std::uint32_t kp = k; kp <= state.k_max; ++kp) {
       const std::int64_t need = m_star.At(k, kp) - m_prime.At(k, kp);
       if (need < 0) {
         throw std::logic_error(
@@ -99,31 +168,121 @@ Graph ConstructPreservingTargets(
             std::to_string(k) + "," + std::to_string(kp) + ")");
       }
       for (std::int64_t c = 0; c < need; ++c) {
-        if (stubs[k].empty() || stubs[kp].empty() ||
-            (k == kp && stubs[k].size() < 2)) {
-          throw std::logic_error(
-              "ConstructPreservingTargets: stub pool exhausted (JDM-3 "
-              "violated)");
+        if (state.stubs[k].empty() || state.stubs[kp].empty() ||
+            (k == kp && state.stubs[k].size() < 2)) {
+          ThrowStubExhausted();
         }
-        const NodeId a = pop_random(stubs[k]);
-        const NodeId b = pop_random(stubs[kp]);
-        result.AddEdge(a, b);
+        const NodeId a = pop_random(state.stubs[k]);
+        const NodeId b = pop_random(state.stubs[kp]);
+        state.result.AddEdge(a, b);
       }
     }
   }
-  for (std::uint32_t k = 0; k <= k_max; ++k) {
-    if (!stubs[k].empty()) {
-      throw std::logic_error(
-          "ConstructPreservingTargets: leftover free half-edges at degree " +
-          std::to_string(k) + " (JDM-3 violated)");
+  CheckNoLeftoverStubs(state);
+  return state.result;
+}
+
+Graph ConstructPreservingTargetsParallel(
+    const Graph& base, const std::vector<std::uint32_t>& base_target_degrees,
+    const DegreeVector& n_star, const JointDegreeMatrix& m_star,
+    std::uint64_t seed, std::size_t threads) {
+  Rng shuffle_rng(DeriveRoundSeed(seed, kAssemblyShuffleStream, 0));
+  AssemblyState state =
+      BuildAssemblyState(base, base_target_degrees, n_star, shuffle_rng);
+  const JointDegreeMatrix m_prime =
+      SubgraphClassEdges(base, base_target_degrees);
+
+  // Schedule: the class pairs with edges to copy, in the canonical
+  // (k, k') order the sequential loop uses. Pool sizes evolve
+  // deterministically — pair p starts from the sizes left by pairs
+  // 0..p-1 — so feasibility (JDM-3) is checked here, before any draw,
+  // with the same outcome the sequential engine's per-edge checks give.
+  std::vector<PairSchedule> schedule;
+  {
+    std::vector<std::size_t> size(state.stubs.size());
+    for (std::size_t k = 0; k < state.stubs.size(); ++k) {
+      size[k] = state.stubs[k].size();
+    }
+    for (std::uint32_t k = 1; k <= state.k_max; ++k) {
+      for (std::uint32_t kp = k; kp <= state.k_max; ++kp) {
+        const std::int64_t need = m_star.At(k, kp) - m_prime.At(k, kp);
+        if (need < 0) {
+          throw std::logic_error(
+              "ConstructPreservingTargets: JDM-4 violated at (" +
+              std::to_string(k) + "," + std::to_string(kp) + ")");
+        }
+        if (need == 0) continue;
+        PairSchedule pair;
+        pair.k = k;
+        pair.kp = kp;
+        pair.need = need;
+        pair.size_k_start = size[k];
+        pair.size_kp_start = size[kp];
+        const auto draws = static_cast<std::size_t>(2 * need);
+        if (k == kp) {
+          if (size[k] < draws) ThrowStubExhausted();
+          size[k] -= draws;
+        } else {
+          if (size[k] < static_cast<std::size_t>(need) ||
+              size[kp] < static_cast<std::size_t>(need)) {
+            ThrowStubExhausted();
+          }
+          size[k] -= static_cast<std::size_t>(need);
+          size[kp] -= static_cast<std::size_t>(need);
+        }
+        schedule.push_back(std::move(pair));
+      }
     }
   }
-  return result;
+
+  // Draw phase: every pair generates its pick indices from its own
+  // derived stream against the pre-computed pool-size trajectory —
+  // concurrent, each worker writing only its own pair's slots.
+  ParallelFor(schedule.size(), threads, [&](std::size_t p) {
+    PairSchedule& pair = schedule[p];
+    Rng pair_rng(DeriveRoundSeed(seed, kAssemblyPairStream, p));
+    pair.picks.reserve(static_cast<std::size_t>(2 * pair.need));
+    std::size_t size_k = pair.size_k_start;
+    std::size_t size_kp = pair.size_kp_start;
+    for (std::int64_t c = 0; c < pair.need; ++c) {
+      if (pair.k == pair.kp) {
+        pair.picks.push_back(pair_rng.NextIndex(size_k));
+        --size_k;
+        pair.picks.push_back(pair_rng.NextIndex(size_k));
+        --size_k;
+      } else {
+        pair.picks.push_back(pair_rng.NextIndex(size_k));
+        --size_k;
+        pair.picks.push_back(pair_rng.NextIndex(size_kp));
+        --size_kp;
+      }
+    }
+  });
+
+  // Commit phase: the single writer replays the draws in canonical pair
+  // order — identical for every thread count.
+  for (const PairSchedule& pair : schedule) {
+    std::size_t d = 0;
+    for (std::int64_t c = 0; c < pair.need; ++c) {
+      const NodeId a = PopAt(state.stubs[pair.k], pair.picks[d++]);
+      const NodeId b = PopAt(state.stubs[pair.kp], pair.picks[d++]);
+      state.result.AddEdge(a, b);
+    }
+  }
+  CheckNoLeftoverStubs(state);
+  return state.result;
 }
 
 Graph Construct2kGraph(const DegreeVector& n_star,
                        const JointDegreeMatrix& m_star, Rng& rng) {
   return ConstructPreservingTargets(Graph(), {}, n_star, m_star, rng);
+}
+
+Graph Construct2kGraphParallel(const DegreeVector& n_star,
+                               const JointDegreeMatrix& m_star,
+                               std::uint64_t seed, std::size_t threads) {
+  return ConstructPreservingTargetsParallel(Graph(), {}, n_star, m_star,
+                                            seed, threads);
 }
 
 Graph Construct1kGraph(const DegreeVector& n_star, Rng& rng) {

@@ -3,16 +3,68 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <memory>
 #include <stdexcept>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "exp/parallel.h"
 #include "graph/csr_graph.h"
 
 namespace sgr {
 
 namespace {
+
+/// One lazily-created worker pool per estimator invocation, shared by
+/// every chunked loop of that invocation (the whole point of PoolFor:
+/// one pool construction, many loops). Null when one worker suffices —
+/// the loops then run inline.
+std::unique_ptr<ThreadPool> MakeEstimatorPool(std::size_t threads) {
+  const std::size_t workers = ResolveThreadCount(threads);
+  if (workers <= 1) return nullptr;
+  return std::make_unique<ThreadPool>(workers);
+}
+
+/// Chunked execution of the estimator pass. Every accumulation below is
+/// split over the fixed kEstimatorChunkSize grid: workers score chunks
+/// concurrently (each writing only its own partial slot), and the caller
+/// reduces the partials in ascending chunk order. The grid depends only
+/// on the element count, so the reduction order — and therefore every
+/// double — is independent of the worker count; integer-valued partials
+/// (collision counts, induced-edge counts, the clustering indicator) are
+/// exact under any order on top of that. Does not own the pool.
+class ChunkRunner {
+ public:
+  ChunkRunner(std::size_t count, ThreadPool* pool)
+      : count_(count), pool_(pool) {}
+
+  std::size_t NumChunks() const {
+    return count_ == 0 ? 0 : (count_ - 1) / kEstimatorChunkSize + 1;
+  }
+
+  /// Calls fn(chunk, begin, end) for every chunk of [0, count), in
+  /// parallel. `fn` must only write state owned by its chunk index.
+  void Run(const std::function<void(std::size_t, std::size_t, std::size_t)>&
+               fn) const {
+    const std::size_t chunks = NumChunks();
+    const auto body = [&](std::size_t c) {
+      const std::size_t begin = c * kEstimatorChunkSize;
+      const std::size_t end =
+          std::min(count_, begin + kEstimatorChunkSize);
+      fn(c, begin, end);
+    };
+    if (pool_ == nullptr || chunks <= 1) {
+      for (std::size_t c = 0; c < chunks; ++c) body(c);
+    } else {
+      PoolFor(*pool_, chunks, body);
+    }
+  }
+
+ private:
+  std::size_t count_;
+  ThreadPool* pool_;
+};
 
 /// Compact CSR snapshot of the crawled neighborhood. The sampling list
 /// stores neighbors in per-node hash maps — convenient to build during the
@@ -22,7 +74,10 @@ namespace {
 /// densely, flattens their neighbor lists into offset + neighbor arrays
 /// (sorted by original id, so adjacency tests are binary searches), and
 /// pre-resolves each neighbor entry to its compact id once, so the hot
-/// loops below are pure array traversals.
+/// loops below are pure array traversals. The per-node fill + sort +
+/// resolve loop runs chunked on the caller's shared worker pool
+/// (disjoint slices per node, no floating point — exact for every
+/// thread count).
 struct CrawlCsr {
   static constexpr std::uint32_t kNotQueried =
       static_cast<std::uint32_t>(-1);
@@ -34,7 +89,7 @@ struct CrawlCsr {
   std::vector<std::uint32_t> degree;   ///< per compact node
   std::unordered_map<NodeId, std::uint32_t> to_compact;  ///< original -> compact
 
-  explicit CrawlCsr(const SamplingList& list) {
+  explicit CrawlCsr(const SamplingList& list, ThreadPool* pool = nullptr) {
     const std::size_t q = list.neighbors.size();
     original_id.reserve(q);
     to_compact.reserve(q * 2);
@@ -51,18 +106,21 @@ struct CrawlCsr {
     neighbors.resize(offsets[q]);
     compact_neighbors.resize(offsets[q]);
     degree.resize(q);
-    for (std::size_t c = 0; c < q; ++c) {
-      const std::vector<NodeId>& nbrs = list.neighbors.at(original_id[c]);
-      degree[c] = static_cast<std::uint32_t>(nbrs.size());
-      std::copy(nbrs.begin(), nbrs.end(), neighbors.begin() + offsets[c]);
-      std::sort(neighbors.begin() + offsets[c],
-                neighbors.begin() + offsets[c + 1]);
-      for (std::size_t e = offsets[c]; e < offsets[c + 1]; ++e) {
-        auto it = to_compact.find(neighbors[e]);
-        compact_neighbors[e] =
-            it == to_compact.end() ? kNotQueried : it->second;
+    const ChunkRunner runner(q, pool);
+    runner.Run([&](std::size_t, std::size_t begin, std::size_t end) {
+      for (std::size_t c = begin; c < end; ++c) {
+        const std::vector<NodeId>& nbrs = list.neighbors.at(original_id[c]);
+        degree[c] = static_cast<std::uint32_t>(nbrs.size());
+        std::copy(nbrs.begin(), nbrs.end(), neighbors.begin() + offsets[c]);
+        std::sort(neighbors.begin() + offsets[c],
+                  neighbors.begin() + offsets[c + 1]);
+        for (std::size_t e = offsets[c]; e < offsets[c + 1]; ++e) {
+          auto it = to_compact.find(neighbors[e]);
+          compact_neighbors[e] =
+              it == to_compact.end() ? kNotQueried : it->second;
+        }
       }
-    }
+    });
   }
 
   /// True if `original` (an original id) is adjacent to compact node `c`.
@@ -156,21 +214,38 @@ LocalEstimates SmallSampleEstimates(const SamplingList& list) {
 
 }  // namespace
 
-double EstimateAverageDegree(const SamplingList& list) {
+double EstimateAverageDegree(const SamplingList& list, std::size_t threads) {
   if (!list.is_walk || list.Length() == 0) return 0.0;
+  const std::size_t r = list.Length();
+  const std::unique_ptr<ThreadPool> pool =
+      r > kEstimatorChunkSize ? MakeEstimatorPool(threads) : nullptr;
+  const ChunkRunner runner(r, pool.get());
+  std::vector<double> partial(runner.NumChunks(), 0.0);
+  runner.Run([&](std::size_t chunk, std::size_t begin, std::size_t end) {
+    double sum = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const auto degree =
+          static_cast<double>(list.DegreeOf(list.visit_sequence[i]));
+      if (degree > 0.0) sum += 1.0 / degree;
+    }
+    partial[chunk] = sum;
+  });
   double inv_sum = 0.0;
-  for (NodeId v : list.visit_sequence) {
-    const auto degree = static_cast<double>(list.DegreeOf(v));
-    if (degree > 0.0) inv_sum += 1.0 / degree;
-  }
+  for (double p : partial) inv_sum += p;
   // A walk pinned to zero-degree nodes (only possible for hand-built
   // lists) has no finite harmonic mean; 0 is the documented sentinel.
   if (inv_sum <= 0.0) return 0.0;
-  return static_cast<double>(list.Length()) / inv_sum;
+  return static_cast<double>(r) / inv_sum;
 }
 
-double EstimateNumNodes(const SamplingList& list, double fallback,
-                        const EstimatorOptions& options) {
+namespace {
+
+/// Shared implementation of the collision estimator; `pool` is the
+/// caller's worker pool (null = inline), so EstimateLocalProperties can
+/// reuse one pool across every chunked loop of a single estimate.
+double EstimateNumNodesImpl(const SamplingList& list, double fallback,
+                            const EstimatorOptions& options,
+                            ThreadPool* pool) {
   if (!list.is_walk) return fallback;
   const std::size_t r = list.Length();
   if (r < 3) return fallback;
@@ -178,24 +253,40 @@ double EstimateNumNodes(const SamplingList& list, double fallback,
   const std::vector<NodeId>& walk = list.visit_sequence;
 
   // Denominator: ordered collision pairs at lag >= M, computed per node via
-  // two-pointer over the sorted position list.
-  double collisions = 0.0;
+  // two-pointer over the sorted position list. The per-node counts are
+  // integer-valued, so the chunked partial sums are exact in any order.
   const auto positions = PositionsByNode(walk);
+  std::vector<const std::vector<std::size_t>*> position_lists;
+  position_lists.reserve(positions.size());
   for (const auto& [node, pos] : positions) {
     (void)node;
-    // For each a, count b > a with pos[b] - pos[a] >= M (then double).
-    std::size_t b = 0;
-    for (std::size_t a = 0; a < pos.size(); ++a) {
-      if (b < a + 1) b = a + 1;
-      while (b < pos.size() && pos[b] - pos[a] < m) ++b;
-      collisions += 2.0 * static_cast<double>(pos.size() - b);
-    }
+    position_lists.push_back(&pos);
   }
+  const ChunkRunner node_runner(position_lists.size(), pool);
+  std::vector<double> collision_partial(node_runner.NumChunks(), 0.0);
+  node_runner.Run([&](std::size_t chunk, std::size_t begin,
+                      std::size_t end) {
+    double sum = 0.0;
+    for (std::size_t n = begin; n < end; ++n) {
+      const std::vector<std::size_t>& pos = *position_lists[n];
+      // For each a, count b > a with pos[b] - pos[a] >= M (then double).
+      std::size_t b = 0;
+      for (std::size_t a = 0; a < pos.size(); ++a) {
+        if (b < a + 1) b = a + 1;
+        while (b < pos.size() && pos[b] - pos[a] < m) ++b;
+        sum += 2.0 * static_cast<double>(pos.size() - b);
+      }
+    }
+    collision_partial[chunk] = sum;
+  });
+  double collisions = 0.0;
+  for (double p : collision_partial) collisions += p;
   if (collisions == 0.0) return fallback;
 
   // Numerator: sum over ordered far pairs of d_{x_i} / d_{x_j}
   //   = Σ_i d_{x_i} * (Σ_j 1/d_{x_j} - Σ_{j in window(i)} 1/d_{x_j}),
-  // with the window handled by a prefix-sum array.
+  // with the window handled by a prefix-sum array (serial O(r): a prefix
+  // sum is inherently order-dependent) and the outer sum chunked.
   std::vector<double> inv_prefix(r + 1, 0.0);
   for (std::size_t i = 0; i < r; ++i) {
     const auto degree = static_cast<double>(list.DegreeOf(walk[i]));
@@ -205,15 +296,33 @@ double EstimateNumNodes(const SamplingList& list, double fallback,
     inv_prefix[i + 1] = inv_prefix[i] + (degree > 0.0 ? 1.0 / degree : 0.0);
   }
   const double inv_total = inv_prefix[r];
+  const ChunkRunner walk_runner(r, pool);
+  std::vector<double> numerator_partial(walk_runner.NumChunks(), 0.0);
+  walk_runner.Run([&](std::size_t chunk, std::size_t begin,
+                      std::size_t end) {
+    double sum = 0.0;
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::size_t lo = i >= m - 1 ? i - (m - 1) : 0;
+      const std::size_t hi = std::min(r - 1, i + (m - 1));
+      const double window = inv_prefix[hi + 1] - inv_prefix[lo];
+      sum += static_cast<double>(list.DegreeOf(walk[i])) *
+             (inv_total - window);
+    }
+    numerator_partial[chunk] = sum;
+  });
   double numerator = 0.0;
-  for (std::size_t i = 0; i < r; ++i) {
-    const std::size_t lo = i >= m - 1 ? i - (m - 1) : 0;
-    const std::size_t hi = std::min(r - 1, i + (m - 1));
-    const double window = inv_prefix[hi + 1] - inv_prefix[lo];
-    numerator +=
-        static_cast<double>(list.DegreeOf(walk[i])) * (inv_total - window);
-  }
+  for (double p : numerator_partial) numerator += p;
   return numerator / collisions;
+}
+
+}  // namespace
+
+double EstimateNumNodes(const SamplingList& list, double fallback,
+                        const EstimatorOptions& options) {
+  const std::unique_ptr<ThreadPool> pool =
+      list.Length() > kEstimatorChunkSize ? MakeEstimatorPool(options.threads)
+                                          : nullptr;
+  return EstimateNumNodesImpl(list, fallback, options, pool.get());
 }
 
 LocalEstimates EstimateLocalProperties(const SamplingList& list,
@@ -229,30 +338,61 @@ LocalEstimates EstimateLocalProperties(const SamplingList& list,
   const std::vector<NodeId>& walk = list.visit_sequence;
   const std::size_t m = LagThreshold(r, options.collision_threshold_fraction);
 
+  // One worker pool for the whole estimate: the CrawlCsr build, every
+  // chunked pass below, and the embedded collision estimator all share
+  // it (null = single-worker, fully inline). A walk within one chunk
+  // has nothing to fan out — skip the pool entirely.
+  const std::unique_ptr<ThreadPool> pool =
+      r > kEstimatorChunkSize ? MakeEstimatorPool(options.threads) : nullptr;
+
   // Immutable snapshot of the crawled neighborhood; every lookup below is
   // an array access instead of a hash probe.
-  const CrawlCsr crawl(list);
+  const CrawlCsr crawl(list, pool.get());
+  const ChunkRunner runner(r, pool.get());
+  const std::size_t num_chunks = runner.NumChunks();
   std::vector<std::uint32_t> walk_compact(r);
-  for (std::size_t i = 0; i < r; ++i) {
-    walk_compact[i] = crawl.to_compact.at(walk[i]);
-  }
+  runner.Run([&](std::size_t, std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      walk_compact[i] = crawl.to_compact.at(walk[i]);
+    }
+  });
   auto degree_at = [&](std::size_t i) {
     return static_cast<std::size_t>(crawl.degree[walk_compact[i]]);
   };
 
   LocalEstimates est;
 
-  // --- Degrees, Φ̄, Φ(k). ---
+  // --- Degrees, Φ̄, Φ(k). One chunked pass collects, per chunk, the
+  //     local maximum degree, the local degree histogram, and the local
+  //     Φ̄ partial; the reduction walks the chunks in ascending order so
+  //     the Φ̄ summation order is canonical. ---
+  struct DegreeChunk {
+    std::size_t max_degree = 0;
+    std::vector<double> count;
+    double phi_bar = 0.0;
+  };
+  std::vector<DegreeChunk> degree_chunks(num_chunks);
+  runner.Run([&](std::size_t chunk, std::size_t begin, std::size_t end) {
+    DegreeChunk& local = degree_chunks[chunk];
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::size_t d = degree_at(i);
+      local.max_degree = std::max(local.max_degree, d);
+      if (d >= local.count.size()) local.count.resize(d + 1, 0.0);
+      local.count[d] += 1.0;
+      if (d > 0) local.phi_bar += 1.0 / static_cast<double>(d);
+    }
+  });
   std::size_t max_degree = 0;
-  for (std::size_t i = 0; i < r; ++i) {
-    max_degree = std::max(max_degree, degree_at(i));
+  for (const DegreeChunk& local : degree_chunks) {
+    max_degree = std::max(max_degree, local.max_degree);
   }
   std::vector<double> degree_count(max_degree + 1, 0.0);
   double phi_bar = 0.0;
-  for (std::size_t i = 0; i < r; ++i) {
-    const std::size_t d = degree_at(i);
-    degree_count[d] += 1.0;
-    if (d > 0) phi_bar += 1.0 / static_cast<double>(d);
+  for (const DegreeChunk& local : degree_chunks) {
+    for (std::size_t d = 0; d < local.count.size(); ++d) {
+      degree_count[d] += local.count[d];
+    }
+    phi_bar += local.phi_bar;
   }
   phi_bar /= static_cast<double>(r);
   // A zero-edge crawl (every queried node isolated — hand-built lists
@@ -273,26 +413,43 @@ LocalEstimates EstimateLocalProperties(const SamplingList& list,
 
   // --- Number of nodes (fallback: number of distinct nodes seen, a lower
   //     bound available from the sampling list itself). ---
-  est.num_nodes = EstimateNumNodes(
-      list, static_cast<double>(crawl.DistinctSeen()), options);
+  est.num_nodes = EstimateNumNodesImpl(
+      list, static_cast<double>(crawl.DistinctSeen()), options, pool.get());
 
   // --- Joint degree distribution: hybrid of IE and TE (Section III-E). ---
-  // TE: traversed edges (consecutive walk pairs).
-  SparseJointDist te;
-  for (std::size_t i = 0; i + 1 < r; ++i) {
-    const auto k = static_cast<std::uint32_t>(degree_at(i));
-    const auto kp = static_cast<std::uint32_t>(degree_at(i + 1));
-    // Both indicator terms of P̂TE fire for (k, k') and for (k', k); each
-    // consecutive pair contributes 1/(2(r-1)) to each ordering (twice that
-    // on the diagonal).
-    const double w = 1.0 / (2.0 * static_cast<double>(r - 1));
-    te.AddSymmetric(k, kp, (k == kp) ? 2.0 * w : w);
+  // TE: traversed edges (consecutive walk pairs, pair (i, i+1) owned by
+  // the chunk of its left index). Per-chunk sparse accumulators are
+  // merged in ascending chunk order, so each class's weight sum has a
+  // canonical order.
+  std::vector<std::unordered_map<std::uint64_t, double>> te_chunks(
+      num_chunks);
+  runner.Run([&](std::size_t chunk, std::size_t begin, std::size_t end) {
+    std::unordered_map<std::uint64_t, double>& local = te_chunks[chunk];
+    for (std::size_t i = begin; i < std::min(end, r - 1); ++i) {
+      const auto k = static_cast<std::uint32_t>(degree_at(i));
+      const auto kp = static_cast<std::uint32_t>(degree_at(i + 1));
+      // Both indicator terms of P̂TE fire for (k, k') and for (k', k); each
+      // consecutive pair contributes 1/(2(r-1)) to each ordering (twice
+      // that on the diagonal).
+      const double w = 1.0 / (2.0 * static_cast<double>(r - 1));
+      if (k == kp) {
+        local[DegreePairKey(k, kp)] += 2.0 * w;
+      } else {
+        local[DegreePairKey(k, kp)] += w;
+        local[DegreePairKey(kp, k)] += w;
+      }
+    }
+  });
+  std::unordered_map<std::uint64_t, double> te;
+  for (const auto& local : te_chunks) {
+    for (const auto& [key, value] : local) te[key] += value;
   }
 
   // IE: induced edges among far-apart walk positions. For each position i
   // and each neighbor w of x_i that occurs in the walk at lag >= M, count 1
   // (A_{x_i, x_j} = 1 exactly when x_j is a neighbor of x_i; originals are
-  // simple). Grouped per (d(x_i), d(w)) class.
+  // simple). Grouped per (d(x_i), d(w)) class. The counts are integers,
+  // so the chunked merge is exact in any order.
   //
   // Walk positions per compact node id (only walk nodes get entries; a
   // queried-but-never-visited node, as Metropolis-Hastings produces, has
@@ -301,23 +458,30 @@ LocalEstimates EstimateLocalProperties(const SamplingList& list,
   for (std::size_t i = 0; i < r; ++i) {
     positions[walk_compact[i]].push_back(i);
   }
-  std::unordered_map<std::uint64_t, double> ie_counts;
-  for (std::size_t i = 0; i < r; ++i) {
-    const std::uint32_t u = walk_compact[i];
-    // Deduplicate neighbors that appear in the walk (each neighbor edge is
-    // a single adjacency-matrix entry regardless of how often w occurs).
-    for (std::size_t e = crawl.offsets[u]; e < crawl.offsets[u + 1]; ++e) {
-      const std::uint32_t w = crawl.compact_neighbors[e];
-      if (w == CrawlCsr::kNotQueried) continue;
-      const std::vector<std::size_t>& pos = positions[w];
-      if (pos.empty()) continue;
-      const std::size_t within = CountWithinWindow(pos, i, m);
-      const std::size_t far = pos.size() - within;
-      if (far == 0) continue;
-      const auto k = static_cast<std::uint32_t>(crawl.degree[u]);
-      const auto kp = static_cast<std::uint32_t>(crawl.degree[w]);
-      ie_counts[DegreePairKey(k, kp)] += static_cast<double>(far);
+  std::vector<std::unordered_map<std::uint64_t, double>> ie_chunks(
+      num_chunks);
+  runner.Run([&](std::size_t chunk, std::size_t begin, std::size_t end) {
+    std::unordered_map<std::uint64_t, double>& local = ie_chunks[chunk];
+    for (std::size_t i = begin; i < end; ++i) {
+      const std::uint32_t u = walk_compact[i];
+      for (std::size_t e = crawl.offsets[u]; e < crawl.offsets[u + 1];
+           ++e) {
+        const std::uint32_t w = crawl.compact_neighbors[e];
+        if (w == CrawlCsr::kNotQueried) continue;
+        const std::vector<std::size_t>& pos = positions[w];
+        if (pos.empty()) continue;
+        const std::size_t within = CountWithinWindow(pos, i, m);
+        const std::size_t far = pos.size() - within;
+        if (far == 0) continue;
+        const auto k = static_cast<std::uint32_t>(crawl.degree[u]);
+        const auto kp = static_cast<std::uint32_t>(crawl.degree[w]);
+        local[DegreePairKey(k, kp)] += static_cast<double>(far);
+      }
     }
+  });
+  std::unordered_map<std::uint64_t, double> ie_counts;
+  for (const auto& local : ie_chunks) {
+    for (const auto& [key, count] : local) ie_counts[key] += count;
   }
   const double num_pairs = CountOrderedPairs(r, m);
   SparseJointDist ie;
@@ -335,9 +499,13 @@ LocalEstimates EstimateLocalProperties(const SamplingList& list,
   // Hybrid: IE for k + k' >= 2 k̂̄ (high-degree pairs, where induced edges
   // are plentiful), TE below the threshold (where the walk itself samples
   // edges without bias).
+  const auto te_at = [&te](std::uint32_t k, std::uint32_t kp) {
+    const auto it = te.find(DegreePairKey(k, kp));
+    return it == te.end() ? 0.0 : it->second;
+  };
   const double threshold = 2.0 * est.average_degree;
   std::unordered_set<std::uint64_t> keys;
-  for (const auto& [key, value] : te.values()) {
+  for (const auto& [key, value] : te) {
     (void)value;
     keys.insert(key);
   }
@@ -355,13 +523,13 @@ LocalEstimates EstimateLocalProperties(const SamplingList& list,
         value = (static_cast<double>(k) + static_cast<double>(kp) >=
                  threshold)
                     ? ie.At(k, kp)
-                    : te.At(k, kp);
+                    : te_at(k, kp);
         break;
       case JointEstimatorMode::kInducedEdgesOnly:
         value = ie.At(k, kp);
         break;
       case JointEstimatorMode::kTraversedEdgesOnly:
-        value = te.At(k, kp);
+        value = te_at(k, kp);
         break;
     }
     if (value > 0.0) est.joint_dist.SetSymmetric(k, kp, value);
@@ -369,13 +537,25 @@ LocalEstimates EstimateLocalProperties(const SamplingList& list,
 
   // --- Degree-dependent clustering ĉ̄(k) = Φ_c(k) / Φ(k). ---
   // Φ_c(k) = 1/((k-1)(r-2)) Σ_{i=2}^{r-1} 1{d(x_i)=k} A_{x_{i-1}, x_{i+1}}.
-  std::vector<double> phi_c(max_degree + 1, 0.0);
-  for (std::size_t i = 1; i + 1 < r; ++i) {
-    const NodeId next = walk[i + 1];
-    if (walk[i - 1] == next) continue;  // A_vv = 0 in a simple graph
-    if (crawl.Adjacent(walk_compact[i - 1], next)) {
-      phi_c[degree_at(i)] += 1.0;
+  // The indicator sum is integer-valued per degree class, so the chunked
+  // histogram merge is exact.
+  std::vector<std::vector<double>> phi_c_chunks(num_chunks);
+  runner.Run([&](std::size_t chunk, std::size_t begin, std::size_t end) {
+    std::vector<double>& local = phi_c_chunks[chunk];
+    for (std::size_t i = std::max<std::size_t>(begin, 1);
+         i < std::min(end, r - 1); ++i) {
+      const NodeId next = walk[i + 1];
+      if (walk[i - 1] == next) continue;  // A_vv = 0 in a simple graph
+      if (crawl.Adjacent(walk_compact[i - 1], next)) {
+        const std::size_t d = degree_at(i);
+        if (d >= local.size()) local.resize(d + 1, 0.0);
+        local[d] += 1.0;
+      }
     }
+  });
+  std::vector<double> phi_c(max_degree + 1, 0.0);
+  for (const std::vector<double>& local : phi_c_chunks) {
+    for (std::size_t d = 0; d < local.size(); ++d) phi_c[d] += local[d];
   }
   est.clustering.assign(max_degree + 1, 0.0);
   for (std::size_t k = 2; k <= max_degree; ++k) {

@@ -85,8 +85,19 @@ void ParallelFor(std::size_t count, std::size_t threads,
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;
   }
-  std::atomic<std::size_t> next{0};
   ThreadPool pool(workers);
+  PoolFor(pool, count, fn);
+}
+
+void PoolFor(ThreadPool& pool, std::size_t count,
+             const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (pool.size() <= 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  const std::size_t workers = std::min(pool.size(), count);
   for (std::size_t w = 0; w < workers; ++w) {
     pool.Submit([&] {
       for (;;) {

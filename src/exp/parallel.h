@@ -83,6 +83,15 @@ class ThreadPool {
 void ParallelFor(std::size_t count, std::size_t threads,
                  const std::function<void(std::size_t)>& fn);
 
+/// ParallelFor over an existing pool: runs `fn(i)` for every i in
+/// [0, count) on `pool`'s workers (dynamic claiming) and blocks until all
+/// iterations finish. For callers that fan out many small loops in a row
+/// (the chunked estimator pass, the batched rewiring rounds) and must not
+/// pay a pool construction per loop. The caller must not Submit() other
+/// work concurrently.
+void PoolFor(ThreadPool& pool, std::size_t count,
+             const std::function<void(std::size_t)>& fn);
+
 }  // namespace sgr
 
 #endif  // SGR_EXP_PARALLEL_H_

@@ -1,6 +1,8 @@
 #ifndef SGR_RESTORE_ASSEMBLER_H_
 #define SGR_RESTORE_ASSEMBLER_H_
 
+#include <cstdint>
+
 #include "dk/dk_construct.h"
 #include "dk/joint_degree_matrix.h"
 #include "restore/target_degree_vector.h"
@@ -19,6 +21,21 @@ Graph AssembleFromSubgraph(const Subgraph& sub,
                            const TargetDegreeVectorResult& targets,
                            const DegreeVector& n_star,
                            const JointDegreeMatrix& m_star, Rng& rng);
+
+/// Parallel Algorithm 5 assembly: the stub-matching candidate draws are
+/// scored concurrently per class pair (each pair on its own RNG stream
+/// derived from `seed`) and committed sequentially in canonical (k, k')
+/// order, so the assembled graph is byte-identical for every `threads`
+/// value. Selects a different — equally valid — realization of the same
+/// targets than the sequential wrapper above (different RNG streams); see
+/// ConstructPreservingTargetsParallel for the full contract. Callers
+/// holding an Rng should pass one engine draw (rng.engine()()).
+Graph AssembleFromSubgraphParallel(const Subgraph& sub,
+                                   const TargetDegreeVectorResult& targets,
+                                   const DegreeVector& n_star,
+                                   const JointDegreeMatrix& m_star,
+                                   std::uint64_t seed,
+                                   std::size_t threads = 1);
 
 }  // namespace sgr
 

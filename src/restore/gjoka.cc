@@ -29,7 +29,13 @@ RestorationResult RestoreGjoka(const SamplingList& list,
       BuildTargetDegreeVectorFromEstimates(result.estimates);
   const JointDegreeMatrix m_star =
       BuildTargetJdmFromEstimates(result.estimates, targets.n_star, rng);
-  result.graph = Construct2kGraph(targets.n_star, m_star, rng);
+  if (options.parallel_assembly.enabled) {
+    result.graph = Construct2kGraphParallel(
+        targets.n_star, m_star, rng.engine()(),
+        options.parallel_assembly.threads);
+  } else {
+    result.graph = Construct2kGraph(targets.n_star, m_star, rng);
+  }
 
   Timer rewiring;
   if (options.parallel_rewire.batch_size > 0) {

@@ -34,9 +34,18 @@ RestorationResult RestoreProposed(const SamplingList& list,
   const JointDegreeMatrix m_star =
       BuildTargetJdm(result.estimates, targets.n_star, m_prime, rng);
 
-  // Third phase: extend the subgraph to realize both targets.
-  result.graph =
-      AssembleFromSubgraph(sub, targets, targets.n_star, m_star, rng);
+  // Third phase: extend the subgraph to realize both targets. The
+  // parallel engine takes one engine draw as its seed (like the batched
+  // rewirer below), so the sequential path's RNG stream is untouched
+  // when it is off.
+  if (options.parallel_assembly.enabled) {
+    result.graph = AssembleFromSubgraphParallel(
+        sub, targets, targets.n_star, m_star, rng.engine()(),
+        options.parallel_assembly.threads);
+  } else {
+    result.graph =
+        AssembleFromSubgraph(sub, targets, targets.n_star, m_star, rng);
+  }
 
   // Fourth phase: rewire non-subgraph edges toward ĉ̄(k). Protecting the
   // first |E'| edge ids (the subgraph edges copied first by Algorithm 5)

@@ -61,11 +61,16 @@ bool BoolOr(const Json& object, const char* key, bool fallback) {
                                                : fallback;
 }
 
-/// Default knob values for cells recorded before the axis schema: the
-/// paper-faithful axis defaults, except RC, which pre-axis reports carry
-/// only in their config echo.
+/// Default knob values for cells recorded before their axis existed:
+/// the paper-faithful axis defaults, overridden by the report's config
+/// echo where the old schema carried the knob only there (RC before the
+/// axis schema; rewire_batch / frontier_walkers while they were scalar
+/// spec knobs). A config echo that already holds an array (the knob
+/// became an axis) keeps the default — such reports echo per cell.
 struct KnobDefaults {
   double rc = 500.0;
+  double rewire_batch = 0.0;
+  double frontier_walkers = 10.0;
 };
 
 KnobDefaults DefaultsFromConfig(const Json& report) {
@@ -73,6 +78,10 @@ KnobDefaults DefaultsFromConfig(const Json& report) {
   const Json* config = report.Find("config");
   if (config != nullptr && config->IsObject()) {
     defaults.rc = NumberOr(*config, "rc", defaults.rc);
+    defaults.rewire_batch =
+        NumberOr(*config, "rewire_batch", defaults.rewire_batch);
+    defaults.frontier_walkers =
+        NumberOr(*config, "frontier_walkers", defaults.frontier_walkers);
   }
   return defaults;
 }
@@ -97,6 +106,10 @@ std::string CellKey(const Json& cell, const KnobDefaults& defaults) {
           : 0.025));
   key.Push(Json::Number(NumberOr(cell, "rc", defaults.rc)));
   key.Push(Json::Bool(BoolOr(cell, "protect_subgraph", true)));
+  key.Push(Json::Number(
+      NumberOr(cell, "rewire_batch", defaults.rewire_batch)));
+  key.Push(Json::Number(
+      NumberOr(cell, "frontier_walkers", defaults.frontier_walkers)));
   return key.Dump(0);
 }
 
@@ -120,6 +133,12 @@ std::string CellLabel(const Json& cell, const KnobDefaults& defaults) {
     }
   }
   if (!BoolOr(cell, "protect_subgraph", true)) label << " unprotected";
+  const double batch =
+      NumberOr(cell, "rewire_batch", defaults.rewire_batch);
+  if (batch != 0.0) label << " batch=" << batch;
+  const double walkers =
+      NumberOr(cell, "frontier_walkers", defaults.frontier_walkers);
+  if (walkers != 10.0) label << " walkers=" << walkers;
   return label.str();
 }
 
@@ -336,6 +355,7 @@ DiffResult DiffReports(const Json& old_report, const Json& new_report,
   ValidateReportSchema(new_report);
 
   DiffResult result;
+  result.timings_compared = options.compare_timings;
   Comparator compare{options, result};
 
   const KnobDefaults old_defaults = DefaultsFromConfig(old_report);
@@ -391,6 +411,43 @@ DiffResult DiffReports(const Json& old_report, const Json& new_report,
     }
   }
   return result;
+}
+
+void PrintDiffMarkdown(const DiffResult& result,
+                       const std::string& old_label,
+                       const std::string& new_label, std::ostream& out) {
+  out << "## `sgr diff`: `" << old_label << "` → `" << new_label
+      << "`\n\n"
+      << "| | |\n"
+      << "| --- | --- |\n"
+      << "| Result | "
+      << (result.HasRegression() ? "**REGRESSION**" : "OK") << " |\n"
+      << "| Cells compared | " << result.cells_compared << " |\n"
+      << "| Method aggregates | " << result.methods_compared << " |\n"
+      << "| Max deterministic drift | " << result.max_l1_drift << " |\n"
+      << "| Max timing ratio | ";
+  if (result.timings_compared) {
+    out << result.max_time_ratio << "x";
+  } else {
+    out << "n/a (timings not compared)";
+  }
+  out << " |\n";
+  out << "\n### Regressions\n\n";
+  bool any = false;
+  for (const DiffFinding& finding : result.findings) {
+    if (!finding.regression) continue;
+    out << "- " << finding.message << "\n";
+    any = true;
+  }
+  if (!any) out << "None.\n";
+  out << "\n### Notes\n\n";
+  any = false;
+  for (const DiffFinding& finding : result.findings) {
+    if (finding.regression) continue;
+    out << "- " << finding.message << "\n";
+    any = true;
+  }
+  if (!any) out << "None.\n";
 }
 
 void PrintDiff(const DiffResult& result, std::ostream& out) {

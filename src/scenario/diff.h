@@ -47,6 +47,9 @@ struct DiffResult {
   std::size_t methods_compared = 0;
   double max_l1_drift = 0.0;   ///< worst deterministic drift seen
   double max_time_ratio = 0.0; ///< worst new/old timing ratio seen
+  /// Whether timing fields participated (DiffOptions::compare_timings):
+  /// when false, max_time_ratio is meaningless and the renderers say so.
+  bool timings_compared = true;
 
   bool HasRegression() const {
     for (const DiffFinding& finding : findings) {
@@ -69,7 +72,8 @@ void ValidateReportSchema(const Json& document);
 
 /// Compares two sgr-report/1 documents. Cells are paired by
 /// (dataset, query_fraction, walk, crawler, estimator, rc,
-/// protect_subgraph); methods inside a paired cell by name. Produces a
+/// protect_subgraph, rewire_batch, frontier_walkers); methods inside a
+/// paired cell by name. Produces a
 /// regression finding for every deterministic drift beyond
 /// `options.l1_tolerance`, every timing slowdown beyond
 /// `options.time_tolerance`, and every cell or method present in `old`
@@ -81,6 +85,17 @@ DiffResult DiffReports(const Json& old_report, const Json& new_report,
 /// Renders the findings (one line each, regressions first) plus a
 /// summary line to `out`.
 void PrintDiff(const DiffResult& result, std::ostream& out);
+
+/// Renders the diff as a GitHub-flavored-markdown fragment suitable for
+/// pasting straight into BENCHMARKS.md: a summary table (result, cell and
+/// method-aggregate counts, worst drift and timing ratio) followed by a
+/// "Regressions" and a "Notes" section listing the findings verbatim.
+/// `old_label` / `new_label` name the two reports in the heading (the CLI
+/// passes the file paths). The output is a pure function of the inputs —
+/// locked by golden tests.
+void PrintDiffMarkdown(const DiffResult& result,
+                       const std::string& old_label,
+                       const std::string& new_label, std::ostream& out);
 
 }  // namespace sgr
 

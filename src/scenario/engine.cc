@@ -38,6 +38,8 @@ ScenarioCell RunScenarioCell(const std::string& dataset_name,
       config.restoration.estimator.collision_threshold_fraction;
   cell.rc = config.restoration.rewire.rewiring_coefficient;
   cell.protect_subgraph = config.restoration.protect_subgraph;
+  cell.rewire_batch = config.restoration.parallel_rewire.batch_size;
+  cell.frontier_walkers = config.frontier_walkers;
   cell.seed_base = seed_base;
   cell.trials = trials;
 
@@ -88,7 +90,9 @@ ScenarioCell RunScenarioCell(const std::string& dataset_name,
 ScenarioRunResult RunScenario(const ScenarioSpec& spec,
                               std::size_t threads_override,
                               std::ostream* progress,
-                              std::size_t rewire_threads_override) {
+                              std::size_t rewire_threads_override,
+                              std::size_t assembly_threads_override,
+                              std::size_t estimator_threads_override) {
   // Programmatically built specs never pass through FromJson — gate the
   // engine on the same semantic validation (finite numbers, non-empty
   // axes, cross-axis rules) so an invalid spec cannot reach a dataset
@@ -103,6 +107,14 @@ ScenarioRunResult RunScenario(const ScenarioSpec& spec,
       rewire_threads_override == kThreadsFromSpec
           ? spec.rewire_threads
           : rewire_threads_override);
+  result.assembly_threads = ResolveThreadCount(
+      assembly_threads_override == kThreadsFromSpec
+          ? spec.assembly_threads
+          : assembly_threads_override);
+  result.estimator_threads = ResolveThreadCount(
+      estimator_threads_override == kThreadsFromSpec
+          ? spec.estimator_threads
+          : estimator_threads_override);
 
   const std::vector<CellKnobs> knob_matrix = spec.ExpandKnobs();
   std::size_t cell_index = 0;
@@ -121,9 +133,13 @@ ScenarioRunResult RunScenario(const ScenarioSpec& spec,
           static_cast<std::uint64_t>(cell_index) *
               static_cast<std::uint64_t>(spec.trials);
       ExperimentConfig config = spec.ToExperimentConfig(knobs);
-      // The rewire worker count is an execution knob — overriding it (or
-      // resolving 0 to the hardware) must not leak into the spec echo.
+      // The intra-trial worker counts are execution knobs — overriding
+      // them (or resolving 0 to the hardware) must not leak into the
+      // spec echo.
       config.restoration.parallel_rewire.threads = result.rewire_threads;
+      config.restoration.parallel_assembly.threads =
+          result.assembly_threads;
+      config.restoration.estimator.threads = result.estimator_threads;
       ScenarioCell cell = RunScenarioCell(
           dataset_spec.name, dataset, properties, config, spec.trials,
           cell_seed, result.threads);
@@ -134,8 +150,14 @@ ScenarioRunResult RunScenario(const ScenarioSpec& spec,
                   << CrawlerToken(knobs.crawler) << "/"
                   << JointModeToken(knobs.estimator.joint_mode)
                   << "/rc " << knobs.rc
-                  << (knobs.protect_subgraph ? "" : "/unprotected")
-                  << "]: n = " << cell.nodes << ", m = " << cell.edges
+                  << (knobs.protect_subgraph ? "" : "/unprotected");
+        if (knobs.rewire_batch != 0) {
+          *progress << "/batch " << knobs.rewire_batch;
+        }
+        if (knobs.crawler == CrawlerKind::kFrontier) {
+          *progress << "/walkers " << knobs.frontier_walkers;
+        }
+        *progress << "]: n = " << cell.nodes << ", m = " << cell.edges
                   << ", " << spec.trials << " trials in "
                   << cell.wall_seconds << " s\n";
       }
@@ -153,7 +175,9 @@ Json ScenarioReportToJson(const ScenarioRunResult& result) {
   }
   return MakeReport("sgr run", result.spec.ToJson(), std::move(cells),
                     CaptureEnvironment(result.threads,
-                                       result.rewire_threads));
+                                       result.rewire_threads,
+                                       result.assembly_threads,
+                                       result.estimator_threads));
 }
 
 }  // namespace sgr

@@ -45,14 +45,21 @@ struct ScenarioRunResult {
   ScenarioSpec spec;
   std::size_t threads = 1;
   /// Resolved rewire-engine worker count the trials ran with (only
-  /// meaningful when spec.rewire_batch > 0). Volatile: recorded in the
-  /// report's environment block, never in its deterministic content.
+  /// meaningful when the rewire_batch axis has a nonzero value).
+  /// Volatile: recorded in the report's environment block, never in its
+  /// deterministic content.
   std::size_t rewire_threads = 1;
+  /// Resolved parallel-assembly worker count (only meaningful when
+  /// spec.parallel_assembly). Volatile, like rewire_threads.
+  std::size_t assembly_threads = 1;
+  /// Resolved estimator-pass worker count. Volatile, like rewire_threads.
+  std::size_t estimator_threads = 1;
   std::vector<ScenarioCell> cells;
 };
 
 /// Expands `spec` into its {dataset x fraction x walk x crawler x
-/// estimator x rc x protect} matrix (ScenarioSpec::ExpandKnobs order) and
+/// estimator x rc x protect x rewire_batch x frontier_walkers} matrix
+/// (ScenarioSpec::ExpandKnobs order) and
 /// executes every cell through RunExperiments over a shared immutable
 /// CsrGraph snapshot per dataset. Registry datasets load through
 /// LoadDataset (honoring $SGR_DATASET_DIR; `spec.dataset_scale` overrides
@@ -75,17 +82,21 @@ struct ScenarioRunResult {
 ///
 /// `threads_override` replaces spec.threads when not kThreadsFromSpec
 /// (the CLI's --threads / $SGR_THREADS plumbing); 0 means hardware
-/// concurrency either way. `rewire_threads_override` does the same for
-/// spec.rewire_threads (the CLI's --rewire-threads /
-/// $SGR_REWIRE_THREADS plumbing) — like the trial thread count it is an
-/// execution knob that never changes the report's deterministic content,
-/// so overriding it leaves the spec echo untouched. `progress`, when
-/// non-null, receives one line per completed cell.
+/// concurrency either way. `rewire_threads_override`,
+/// `assembly_threads_override`, and `estimator_threads_override` do the
+/// same for the spec's intra-trial worker counts (the CLI's
+/// --rewire-threads / --assembly-threads / --estimator-threads plumbing
+/// and their SGR_* environment twins) — like the trial thread count they
+/// are execution knobs that never change the report's deterministic
+/// content, so overriding them leaves the spec echo untouched.
+/// `progress`, when non-null, receives one line per completed cell.
 ScenarioRunResult RunScenario(
     const ScenarioSpec& spec,
     std::size_t threads_override = kThreadsFromSpec,
     std::ostream* progress = nullptr,
-    std::size_t rewire_threads_override = kThreadsFromSpec);
+    std::size_t rewire_threads_override = kThreadsFromSpec,
+    std::size_t assembly_threads_override = kThreadsFromSpec,
+    std::size_t estimator_threads_override = kThreadsFromSpec);
 
 /// Serializes a scenario run as the standard report document
 /// (scenario/report.h): the spec echoed under "config", the environment,

@@ -9,10 +9,14 @@
 namespace sgr {
 
 RunEnvironment CaptureEnvironment(std::size_t threads,
-                                  std::size_t rewire_threads) {
+                                  std::size_t rewire_threads,
+                                  std::size_t assembly_threads,
+                                  std::size_t estimator_threads) {
   RunEnvironment environment;
   environment.threads = threads;
   environment.rewire_threads = rewire_threads;
+  environment.assembly_threads = assembly_threads;
+  environment.estimator_threads = estimator_threads;
   environment.hardware_concurrency = std::thread::hardware_concurrency();
 #if defined(__VERSION__)
   environment.compiler = __VERSION__;
@@ -31,6 +35,11 @@ Json EnvironmentToJson(const RunEnvironment& environment) {
            Json::Number(static_cast<double>(environment.threads)));
   json.Set("rewire_threads",
            Json::Number(static_cast<double>(environment.rewire_threads)));
+  json.Set("assembly_threads",
+           Json::Number(static_cast<double>(environment.assembly_threads)));
+  json.Set("estimator_threads",
+           Json::Number(
+               static_cast<double>(environment.estimator_threads)));
   json.Set("hardware_concurrency",
            Json::Number(
                static_cast<double>(environment.hardware_concurrency)));
@@ -55,6 +64,10 @@ Json ScenarioCellToJson(const ScenarioCell& cell) {
   json.Set("estimator", std::move(estimator));
   json.Set("rc", Json::Number(cell.rc));
   json.Set("protect_subgraph", Json::Bool(cell.protect_subgraph));
+  json.Set("rewire_batch",
+           Json::Number(static_cast<double>(cell.rewire_batch)));
+  json.Set("frontier_walkers",
+           Json::Number(static_cast<double>(cell.frontier_walkers)));
   json.Set("seed_base", Json::Number(static_cast<double>(cell.seed_base)));
   json.Set("trials", Json::Number(static_cast<double>(cell.trials)));
 

@@ -62,6 +62,8 @@ struct ScenarioCell {
   double collision_fraction = 0.025;
   double rc = 500.0;
   bool protect_subgraph = true;
+  std::size_t rewire_batch = 0;
+  std::size_t frontier_walkers = 10;
   std::uint64_t seed_base = 0;
   std::size_t trials = 0;
   double wall_seconds = 0.0;  ///< whole trial matrix of this cell
@@ -75,17 +77,21 @@ struct ScenarioCell {
 struct RunEnvironment {
   std::size_t threads = 1;               ///< resolved worker thread count
   std::size_t rewire_threads = 1;        ///< resolved rewire-engine workers
+  std::size_t assembly_threads = 1;      ///< resolved assembly workers
+  std::size_t estimator_threads = 1;     ///< resolved estimator workers
   std::size_t hardware_concurrency = 0;
   std::string compiler;                  ///< __VERSION__
   std::string build;                     ///< "Release" / "Debug" (NDEBUG)
 };
 
 /// Captures the current process environment; `threads` is the resolved
-/// worker count the caller is about to run with, `rewire_threads` the
-/// resolved intra-trial rewiring worker count (defaults to 1, the
-/// sequential engine).
+/// worker count the caller is about to run with, the rest the resolved
+/// intra-trial worker counts of the rewiring / assembly / estimator
+/// engines (all default to 1, the inline path).
 RunEnvironment CaptureEnvironment(std::size_t threads,
-                                  std::size_t rewire_threads = 1);
+                                  std::size_t rewire_threads = 1,
+                                  std::size_t assembly_threads = 1,
+                                  std::size_t estimator_threads = 1);
 
 Json EnvironmentToJson(const RunEnvironment& environment);
 
@@ -94,6 +100,7 @@ Json EnvironmentToJson(const RunEnvironment& environment);
 ///    "walk": "simple", "crawler": "rw",
 ///    "estimator": {"joint_mode": "hybrid", "collision_fraction": ...},
 ///    "rc": ..., "protect_subgraph": ...,
+///    "rewire_batch": ..., "frontier_walkers": ...,
 ///    "seed_base": ..., "trials": ...,
 ///    "methods": [{"method": "Proposed", "sample_steps": ...,
 ///                 "distances": {"per_property": {"n": ..., ...12...},

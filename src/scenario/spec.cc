@@ -381,12 +381,25 @@ ScenarioSpec ScenarioSpec::FromJson(const Json& json) {
             return RequireBool(v, k);
           });
     } else if (key == "frontier_walkers") {
-      spec.frontier_walkers =
-          static_cast<std::size_t>(RequireUint(value, key));
+      spec.frontier_walkers = ParseScalarOrArray<std::size_t>(
+          value, key, [](const Json& v, const std::string& k) {
+            return static_cast<std::size_t>(RequireUint(v, k));
+          });
     } else if (key == "rewire_batch") {
-      spec.rewire_batch = static_cast<std::size_t>(RequireUint(value, key));
+      spec.rewire_batches = ParseScalarOrArray<std::size_t>(
+          value, key, [](const Json& v, const std::string& k) {
+            return static_cast<std::size_t>(RequireUint(v, k));
+          });
     } else if (key == "rewire_threads") {
       spec.rewire_threads =
+          static_cast<std::size_t>(RequireUint(value, key));
+    } else if (key == "parallel_assembly") {
+      spec.parallel_assembly = RequireBool(value, key);
+    } else if (key == "assembly_threads") {
+      spec.assembly_threads =
+          static_cast<std::size_t>(RequireUint(value, key));
+    } else if (key == "estimator_threads") {
+      spec.estimator_threads =
           static_cast<std::size_t>(RequireUint(value, key));
     } else if (key == "path_sources") {
       spec.path_sources = static_cast<std::size_t>(RequireUint(value, key));
@@ -575,8 +588,38 @@ void ScenarioSpec::Validate() const {
     }
   }
 
-  if (frontier_walkers == 0) {
-    throw ScenarioError("'frontier_walkers' must be >= 1");
+  if (frontier_walkers.empty()) {
+    throw ScenarioError(
+        "'frontier_walkers' must contain at least one value");
+  }
+  {
+    std::set<std::size_t> seen;
+    for (std::size_t walkers : frontier_walkers) {
+      if (walkers == 0) {
+        throw ScenarioError("'frontier_walkers' must be >= 1");
+      }
+      if (!seen.insert(walkers).second) {
+        throw ScenarioError("duplicate frontier_walkers value");
+      }
+    }
+  }
+  if (frontier_walkers.size() > 1 &&
+      !(crawlers.size() == 1 && crawlers[0] == CrawlerKind::kFrontier)) {
+    throw ScenarioError(
+        "a 'frontier_walkers' sweep requires the crawler axis to be "
+        "exactly [\"frontier\"] (every other crawler ignores the knob, so "
+        "its cells would be duplicated once per walker value)");
+  }
+  if (rewire_batches.empty()) {
+    throw ScenarioError("'rewire_batch' must contain at least one value");
+  }
+  {
+    std::set<std::size_t> seen;
+    for (std::size_t batch : rewire_batches) {
+      if (!seen.insert(batch).second) {
+        throw ScenarioError("duplicate rewire_batch value");
+      }
+    }
   }
   if (snowball_k == 0) throw ScenarioError("'snowball_k' must be >= 1");
   require_finite(forest_fire_pf, "forest_fire_pf");
@@ -671,11 +714,27 @@ Json ScenarioSpec::ToJson() const {
     for (bool protect : protects) items.push_back(Json::Bool(protect));
     json.Set("protect_subgraph", scalar_or_array(std::move(items)));
   }
-  json.Set("frontier_walkers",
-           Json::Number(static_cast<double>(frontier_walkers)));
-  json.Set("rewire_batch", Json::Number(static_cast<double>(rewire_batch)));
+  {
+    std::vector<Json> items;
+    for (std::size_t walkers : frontier_walkers) {
+      items.push_back(Json::Number(static_cast<double>(walkers)));
+    }
+    json.Set("frontier_walkers", scalar_or_array(std::move(items)));
+  }
+  {
+    std::vector<Json> items;
+    for (std::size_t batch : rewire_batches) {
+      items.push_back(Json::Number(static_cast<double>(batch)));
+    }
+    json.Set("rewire_batch", scalar_or_array(std::move(items)));
+  }
   json.Set("rewire_threads",
            Json::Number(static_cast<double>(rewire_threads)));
+  json.Set("parallel_assembly", Json::Bool(parallel_assembly));
+  json.Set("assembly_threads",
+           Json::Number(static_cast<double>(assembly_threads)));
+  json.Set("estimator_threads",
+           Json::Number(static_cast<double>(estimator_threads)));
   json.Set("path_sources", Json::Number(static_cast<double>(path_sources)));
   json.Set("snowball_k", Json::Number(static_cast<double>(snowball_k)));
   json.Set("forest_fire_pf", Json::Number(forest_fire_pf));
@@ -693,10 +752,13 @@ ExperimentConfig ScenarioSpec::ToExperimentConfig(
   config.forest_fire_pf = forest_fire_pf;
   config.walk = knobs.walk;
   config.crawler = knobs.crawler;
-  config.frontier_walkers = frontier_walkers;
+  config.frontier_walkers = knobs.frontier_walkers;
   config.restoration.rewire.rewiring_coefficient = knobs.rc;
-  config.restoration.parallel_rewire.batch_size = rewire_batch;
+  config.restoration.parallel_rewire.batch_size = knobs.rewire_batch;
   config.restoration.parallel_rewire.threads = rewire_threads;
+  config.restoration.parallel_assembly.enabled = parallel_assembly;
+  config.restoration.parallel_assembly.threads = assembly_threads;
+  config.restoration.estimator.threads = estimator_threads;
   config.restoration.simplify_output = simplify_output;
   config.restoration.protect_subgraph = knobs.protect_subgraph;
   config.restoration.estimator.joint_mode = knobs.estimator.joint_mode;
@@ -726,6 +788,8 @@ ExperimentConfig ScenarioSpec::ToExperimentConfig(double fraction) const {
   knobs.estimator = estimators.front();
   knobs.rc = rcs.front();
   knobs.protect_subgraph = protects.front();
+  knobs.rewire_batch = rewire_batches.front();
+  knobs.frontier_walkers = frontier_walkers.front();
   return ToExperimentConfig(knobs);
 }
 
@@ -737,14 +801,20 @@ std::vector<CellKnobs> ScenarioSpec::ExpandKnobs() const {
         for (const EstimatorSpec& estimator : estimators) {
           for (double rc : rcs) {
             for (bool protect : protects) {
-              CellKnobs knobs;
-              knobs.fraction = fraction;
-              knobs.walk = walk;
-              knobs.crawler = crawler;
-              knobs.estimator = estimator;
-              knobs.rc = rc;
-              knobs.protect_subgraph = protect;
-              expanded.push_back(knobs);
+              for (std::size_t batch : rewire_batches) {
+                for (std::size_t walkers : frontier_walkers) {
+                  CellKnobs knobs;
+                  knobs.fraction = fraction;
+                  knobs.walk = walk;
+                  knobs.crawler = crawler;
+                  knobs.estimator = estimator;
+                  knobs.rc = rc;
+                  knobs.protect_subgraph = protect;
+                  knobs.rewire_batch = batch;
+                  knobs.frontier_walkers = walkers;
+                  expanded.push_back(knobs);
+                }
+              }
             }
           }
         }
@@ -755,10 +825,10 @@ std::vector<CellKnobs> ScenarioSpec::ExpandKnobs() const {
 }
 
 std::vector<std::string> BuiltinScenarioNames() {
-  return {"tables-smoke",  "table2",       "table3",
+  return {"tables-smoke",  "table2",        "table3",
           "table4-time",   "table5-youtube", "fig3-sweep",
-          "ablation-walk", "ablation-rc",  "ablation-jdm",
-          "ablation-rewire"};
+          "ablation-walk", "ablation-rc",   "ablation-jdm",
+          "ablation-rewire", "ablation-batch", "ablation-frontier"};
 }
 
 bool IsBuiltinScenario(const std::string& name) {
@@ -807,6 +877,15 @@ std::string BuiltinScenarioDescription(const std::string& name) {
   if (name == "ablation-rewire") {
     return "Candidate-set ablation: protected (E~ \\ E') vs all-edges "
            "rewiring inside the proposed pipeline (Section IV-E)";
+  }
+  if (name == "ablation-batch") {
+    return "Batched-engine ablation: sequential attempt loop vs "
+           "speculative rounds (rewire_batch sweep) through the parallel "
+           "Algorithm 5 assembly";
+  }
+  if (name == "ablation-frontier") {
+    return "Frontier walker-count sweep: coupled-walker budget vs "
+           "restoration accuracy (frontier_walkers axis)";
   }
   throw ScenarioError("unknown built-in scenario '" + name + "'");
 }
@@ -914,6 +993,35 @@ ScenarioSpec BuiltinScenario(const std::string& name) {
     spec.path_sources = 40;
     spec.dataset_scale = 0.15;
     spec.seed_base = 0xAB2'0000;
+  } else if (name == "ablation-batch") {
+    // Sequential attempt loop (batch 0) vs speculative rounds at two
+    // batch sizes, with the parallel Algorithm 5 assembly engine on —
+    // the declarative face of bench_parallel_assembly /
+    // bench_parallel_rewire. Batch size is an algorithm knob (each value
+    // is its own equally valid trajectory); worker counts stay execution
+    // knobs overridable from the CLI.
+    spec.datasets = registry({"brightkite"});
+    spec.methods = {MethodKind::kProposed};
+    spec.rewire_batches = {0, 64, 256};
+    spec.parallel_assembly = true;
+    spec.trials = 2;
+    spec.rcs = {100.0};
+    spec.path_sources = 40;
+    spec.dataset_scale = 0.1;
+    spec.seed_base = 0xAB6'0000;
+  } else if (name == "ablation-frontier") {
+    // Walker-count sweep of Ribeiro & Towsley's frontier crawler through
+    // the proposed pipeline: more coupled walkers dilute the per-walker
+    // trajectory the clustering estimator's interior term reads.
+    spec.datasets = registry({"brightkite"});
+    spec.methods = {MethodKind::kProposed};
+    spec.crawlers = {CrawlerKind::kFrontier};
+    spec.frontier_walkers = {2, 10, 50};
+    spec.trials = 2;
+    spec.rcs = {50.0};
+    spec.path_sources = 40;
+    spec.dataset_scale = 0.1;
+    spec.seed_base = 0xAB7'0000;
   } else {
     throw ScenarioError("unknown built-in scenario '" + name + "'");
   }

@@ -79,6 +79,12 @@ struct CellKnobs {
   EstimatorSpec estimator;
   double rc = 500.0;
   bool protect_subgraph = true;
+  /// Batched speculative rewiring: 0 = the classic sequential attempt
+  /// loop, nonzero = proposals per round of RewireToClusteringParallel.
+  std::size_t rewire_batch = 0;
+  /// Walker count of the frontier crawler (ignored by the others, but
+  /// echoed regardless so cells pair canonically).
+  std::size_t frontier_walkers = 10;
 };
 
 /// Declarative description of one crawl -> restore -> evaluate matrix:
@@ -123,19 +129,38 @@ struct ScenarioSpec {
   /// or an array): true rewires over E~ \ E' (the paper's choice), false
   /// over all of E~ (Gjoka et al.'s choice inside the proposed pipeline).
   std::vector<bool> protects = {true};
-  /// Walker count for the frontier crawler (scalar knob, not an axis).
-  std::size_t frontier_walkers = 10;
-  /// Batched speculative rewiring (restore/rewirer.h): 0 = the classic
-  /// sequential attempt loop, nonzero = proposals per round of
+  /// Walker-count axis of the frontier crawler (JSON key
+  /// "frontier_walkers": one number or an array). Sweeping it with more
+  /// than one value requires the crawler axis to be exactly [frontier]:
+  /// every other crawler ignores the knob, so its cells would be
+  /// duplicated once per walker value.
+  std::vector<std::size_t> frontier_walkers = {10};
+  /// Batched-speculative-rewiring axis (restore/rewirer.h; JSON key
+  /// "rewire_batch": one number or an array): 0 = the classic sequential
+  /// attempt loop, nonzero = proposals per round of
   /// RewireToClusteringParallel. An algorithm knob — changing it changes
-  /// the (equally valid) rewiring trajectory, so it lives in the spec and
-  /// is echoed in reports.
-  std::size_t rewire_batch = 0;
+  /// the (equally valid) rewiring trajectory, so it is a sweepable axis
+  /// and every cell echoes its value.
+  std::vector<std::size_t> rewire_batches = {0};
   /// Worker threads of the batched rewiring engine inside each trial
   /// (0 = hardware concurrency). Execution knob only: reports are
   /// byte-identical for every value (and the CLI can override it per run
   /// without touching the spec).
   std::size_t rewire_threads = 1;
+  /// Parallel Algorithm 5 assembly (dk/dk_construct.h). An algorithm
+  /// knob like rewire_batch: true routes the generative methods through
+  /// ConstructPreservingTargetsParallel's per-class-pair RNG streams —
+  /// a different (equally valid) realization of the same targets.
+  bool parallel_assembly = false;
+  /// Worker threads of the parallel assembly engine inside each trial
+  /// (0 = hardware concurrency; only active when `parallel_assembly`).
+  /// Execution knob only: reports are byte-identical for every value.
+  std::size_t assembly_threads = 1;
+  /// Worker threads of the chunked estimator pass inside each trial
+  /// (0 = hardware concurrency). Execution knob only: the chunk grid is
+  /// fixed by the walk length, so estimates — and therefore reports —
+  /// are bit-identical for every value (estimation/estimators.h).
+  std::size_t estimator_threads = 1;
   std::size_t path_sources = 0;   ///< 0 = exact all-pairs evaluation
   std::size_t snowball_k = 50;
   double forest_fire_pf = 0.7;
@@ -178,7 +203,10 @@ struct ScenarioSpec {
 
   /// Enumerates the knob coordinates of the non-dataset axes in cell
   /// order: fractions-major, then walks, crawlers, estimators, rcs,
-  /// protects (minor). RunScenario visits datasets-major over this list.
+  /// protects, rewire_batches, frontier_walkers (minor). The two newest
+  /// axes sit innermost so single-valued specs expand to exactly the cell
+  /// list — and therefore the seed schedule — they always did.
+  /// RunScenario visits datasets-major over this list.
   std::vector<CellKnobs> ExpandKnobs() const;
 };
 
@@ -210,6 +238,9 @@ std::string JointModeToken(JointEstimatorMode mode);
 ///   ablation-rc      rewiring-budget sweep RC in {0..500} (Section IV-E)
 ///   ablation-jdm     hybrid vs IE-only vs TE-only estimator (Sec. III-E)
 ///   ablation-rewire  protected vs all-edges rewiring set (Section IV-E)
+///   ablation-batch   sequential loop vs speculative rounds (rewire_batch
+///                    sweep) through the parallel assembly engine
+///   ablation-frontier  frontier walker-count sweep (frontier_walkers)
 std::vector<std::string> BuiltinScenarioNames();
 bool IsBuiltinScenario(const std::string& name);
 ScenarioSpec BuiltinScenario(const std::string& name);

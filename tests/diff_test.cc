@@ -1,6 +1,7 @@
 #include "scenario/diff.h"
 
 #include <cmath>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
@@ -171,6 +172,22 @@ TEST(DiffReportsTest, PreAxisReportsPairViaTheConfigEcho) {
   EXPECT_FALSE(result.HasRegression());
 }
 
+TEST(DiffReportsTest, PreAxisScalarKnobsPairViaTheConfigEcho) {
+  // rewire_batch / frontier_walkers were scalar spec knobs before they
+  // became axes: a report from that era carries them only in its config
+  // echo, never per cell. It must still pair against a fresh run of the
+  // same spec, whose cells echo the knob explicitly.
+  const Json old_doc = MakeDoc(0.5, 1.0, 0.5, /*cell_extra=*/"",
+                               R"({"rc": 10, "rewire_batch": 64,
+                                   "frontier_walkers": 7})");
+  const Json new_doc = MakeDoc(
+      0.5, 1.0, 0.5,
+      R"("rc": 10, "rewire_batch": 64, "frontier_walkers": 7,)");
+  const DiffResult result = DiffReports(old_doc, new_doc);
+  EXPECT_EQ(result.cells_compared, 1u);
+  EXPECT_FALSE(result.HasRegression());
+}
+
 TEST(DiffReportsTest, NaNDriftIsARegressionNotATolerancePass) {
   // |NaN - x| is NaN and every NaN comparison is false, so without
   // explicit handling a NaN-corrupted report sails through the gate
@@ -197,6 +214,71 @@ TEST(DiffReportsTest, MissingMethodIsARegression) {
   *new_doc.Find("cells")->Items()[0].Find("methods")->Items()[0].Find(
       "method") = Json::String("Gjoka et al.");
   EXPECT_TRUE(DiffReports(old_doc, new_doc).HasRegression());
+}
+
+// ---------------------------------------------------------------------------
+// Markdown rendering (golden outputs over a checked-in report pair)
+// ---------------------------------------------------------------------------
+
+TEST(DiffMarkdownTest, CleanComparisonGolden) {
+  const Json doc = MakeDoc(0.5, 1.0, 0.5);
+  const DiffResult result = DiffReports(doc, doc);
+  std::ostringstream out;
+  PrintDiffMarkdown(result, "old.json", "new.json", out);
+  EXPECT_EQ(out.str(),
+            "## `sgr diff`: `old.json` → `new.json`\n"
+            "\n"
+            "| | |\n"
+            "| --- | --- |\n"
+            "| Result | OK |\n"
+            "| Cells compared | 1 |\n"
+            "| Method aggregates | 1 |\n"
+            "| Max deterministic drift | 0 |\n"
+            "| Max timing ratio | 1x |\n"
+            "\n"
+            "### Regressions\n"
+            "\n"
+            "None.\n"
+            "\n"
+            "### Notes\n"
+            "\n"
+            "None.\n");
+}
+
+TEST(DiffMarkdownTest, RegressionAndNoteGolden) {
+  // One deterministic drift (regression) plus one added cell (note):
+  // both must land verbatim in their sections, regressions first.
+  const Json old_doc = MakeDoc(0.5, 1.0, 0.5);
+  Json new_doc = MakeDoc(0.75, 1.0, 0.5);
+  new_doc.Find("cells")->Push(
+      MakeDoc(0.5, 1.0, 0.5, R"("rc": 250,)").Find("cells")->Items()[0]);
+  DiffOptions options;
+  options.compare_timings = false;
+  const DiffResult result = DiffReports(old_doc, new_doc, options);
+  ASSERT_TRUE(result.HasRegression());
+  std::ostringstream out;
+  PrintDiffMarkdown(result, "BENCH_scenarios.json", "fresh.json", out);
+  EXPECT_EQ(out.str(),
+            "## `sgr diff`: `BENCH_scenarios.json` → `fresh.json`\n"
+            "\n"
+            "| | |\n"
+            "| --- | --- |\n"
+            "| Result | **REGRESSION** |\n"
+            "| Cells compared | 1 |\n"
+            "| Method aggregates | 1 |\n"
+            "| Max deterministic drift | 0.25 |\n"
+            "| Max timing ratio | n/a (timings not compared) |\n"
+            "\n"
+            "### Regressions\n"
+            "\n"
+            "- tiny @ 10% / Proposed avg L1: 0.5 -> 0.75 (drift 0.25, "
+            "tolerance 1e-09)\n"
+            "- tiny @ 10% / Proposed n: 0.5 -> 0.75 (drift 0.25, "
+            "tolerance 1e-09)\n"
+            "\n"
+            "### Notes\n"
+            "\n"
+            "- tiny @ 10% rc=250: new cell (not in the old report)\n");
 }
 
 // ---------------------------------------------------------------------------

@@ -73,6 +73,20 @@ TEST(DkConstructTest, RejectsTargetBelowSubgraphDegree) {
       std::logic_error);
 }
 
+TEST(DkConstructTest, EmptyTargetsYieldEmptyGraph) {
+  // A fully empty target set is a legal degenerate input: no nodes, no
+  // edges, no stub pools. This used to read past the end of the (empty)
+  // stub-pool vector in the leftover check.
+  Rng rng(52);
+  const Graph g = Construct2kGraph({}, JointDegreeMatrix{}, rng);
+  EXPECT_EQ(g.NumNodes(), 0u);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  const Graph p = Construct2kGraphParallel({}, JointDegreeMatrix{},
+                                           /*seed=*/53, 2);
+  EXPECT_EQ(p.NumNodes(), 0u);
+  EXPECT_EQ(p.NumEdges(), 0u);
+}
+
 TEST(DkConstructTest, RejectsInconsistentJdm) {
   // Stub counts cannot satisfy this JDM (JDM-3 violated).
   DegreeVector n_star = {0, 2};     // two degree-1 nodes

@@ -1,0 +1,162 @@
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "estimation/estimators.h"
+#include "graph/generators.h"
+#include "restore/proposed.h"
+#include "sampling/random_walk.h"
+#include "util/rng.h"
+
+namespace sgr {
+namespace {
+
+/// A walk long enough to span many estimator chunks, so the multi-chunk
+/// reduction paths (not just the single-chunk degenerate case) are what
+/// the bit-identity assertions exercise.
+SamplingList MultiChunkWalk() {
+  Rng rng(7);
+  const Graph g = GeneratePowerlawCluster(4000, 3, 0.4, rng);
+  QueryOracle oracle(g);
+  return RandomWalkSample(
+      oracle, static_cast<NodeId>(rng.NextIndex(g.NumNodes())),
+      g.NumNodes() / 2, rng);
+}
+
+/// Bit-exact equality of two estimate sets, double fields included.
+void ExpectSameEstimates(const LocalEstimates& a, const LocalEstimates& b,
+                         const std::string& what) {
+  EXPECT_EQ(a.num_nodes, b.num_nodes) << what;
+  EXPECT_EQ(a.average_degree, b.average_degree) << what;
+  ASSERT_EQ(a.degree_dist.size(), b.degree_dist.size()) << what;
+  for (std::size_t k = 0; k < a.degree_dist.size(); ++k) {
+    EXPECT_EQ(a.degree_dist[k], b.degree_dist[k]) << what << " P(" << k
+                                                  << ")";
+  }
+  ASSERT_EQ(a.clustering.size(), b.clustering.size()) << what;
+  for (std::size_t k = 0; k < a.clustering.size(); ++k) {
+    EXPECT_EQ(a.clustering[k], b.clustering[k]) << what << " c(" << k
+                                                << ")";
+  }
+  ASSERT_EQ(a.joint_dist.values().size(), b.joint_dist.values().size())
+      << what;
+  for (const auto& [key, value] : a.joint_dist.values()) {
+    const auto it = b.joint_dist.values().find(key);
+    ASSERT_NE(it, b.joint_dist.values().end()) << what;
+    EXPECT_EQ(it->second, value) << what << " key " << key;
+  }
+}
+
+TEST(ParallelEstimatorTest, LocalPropertiesBitIdenticalAcrossThreadCounts) {
+  const SamplingList walk = MultiChunkWalk();
+  ASSERT_GT(walk.Length(), 2 * kEstimatorChunkSize)
+      << "walk too short to exercise the multi-chunk reduction";
+
+  EstimatorOptions options;
+  options.threads = 1;
+  const LocalEstimates baseline = EstimateLocalProperties(walk, options);
+  for (const std::size_t threads : {2u, 8u}) {
+    options.threads = threads;
+    const LocalEstimates est = EstimateLocalProperties(walk, options);
+    ExpectSameEstimates(baseline, est,
+                        "threads = " + std::to_string(threads));
+  }
+  // The estimates carry real content (not a degenerate all-zero pass).
+  EXPECT_GT(baseline.num_nodes, 0.0);
+  EXPECT_GT(baseline.average_degree, 0.0);
+  EXPECT_FALSE(baseline.joint_dist.values().empty());
+}
+
+TEST(ParallelEstimatorTest, EveryJointModeBitIdentical) {
+  // The IE / TE / hybrid selection reads the chunk-merged accumulators
+  // differently; each mode must be thread-count independent on its own.
+  const SamplingList walk = MultiChunkWalk();
+  for (const JointEstimatorMode mode :
+       {JointEstimatorMode::kHybrid, JointEstimatorMode::kInducedEdgesOnly,
+        JointEstimatorMode::kTraversedEdgesOnly}) {
+    EstimatorOptions options;
+    options.joint_mode = mode;
+    options.threads = 1;
+    const LocalEstimates baseline = EstimateLocalProperties(walk, options);
+    options.threads = 8;
+    const LocalEstimates est = EstimateLocalProperties(walk, options);
+    ExpectSameEstimates(baseline, est,
+                        "mode " + std::to_string(static_cast<int>(mode)));
+  }
+}
+
+TEST(ParallelEstimatorTest, ScalarEstimatorsBitIdenticalAcrossThreads) {
+  const SamplingList walk = MultiChunkWalk();
+  const double degree_1 = EstimateAverageDegree(walk, 1);
+  EXPECT_GT(degree_1, 0.0);
+  EXPECT_EQ(EstimateAverageDegree(walk, 2), degree_1);
+  EXPECT_EQ(EstimateAverageDegree(walk, 8), degree_1);
+
+  EstimatorOptions options;
+  options.threads = 1;
+  const double nodes_1 = EstimateNumNodes(walk, -1.0, options);
+  EXPECT_GT(nodes_1, 0.0);
+  for (const std::size_t threads : {2u, 8u}) {
+    options.threads = threads;
+    EXPECT_EQ(EstimateNumNodes(walk, -1.0, options), nodes_1)
+        << "threads = " << threads;
+  }
+}
+
+TEST(ParallelEstimatorTest, DegenerateInputsUnchangedByThreadKnob) {
+  // The r < 3 fallback, the non-walk rejection, and the empty list never
+  // reach the chunked paths — the knob must not change their contracts.
+  SamplingList empty;
+  empty.is_walk = true;
+  EXPECT_EQ(EstimateAverageDegree(empty, 8), 0.0);
+
+  SamplingList crawl;
+  crawl.is_walk = false;
+  crawl.visit_sequence = {0, 1, 2, 3};
+  for (NodeId v : crawl.visit_sequence) crawl.neighbors[v] = {};
+  EstimatorOptions options;
+  options.threads = 8;
+  EXPECT_THROW(EstimateLocalProperties(crawl, options),
+               std::invalid_argument);
+  EXPECT_EQ(EstimateNumNodes(crawl, 7.0, options), 7.0);
+}
+
+TEST(ParallelEstimatorTest, FullProposedPipelineBitIdenticalAcrossThreads) {
+  // RestorationOptions::estimator.threads end to end: the restored graph
+  // is a deterministic function of (sample, seed) no matter how many
+  // workers scored the estimator chunks.
+  Rng gen_rng(61);
+  const Graph original = GeneratePowerlawCluster(500, 3, 0.4, gen_rng);
+  QueryOracle oracle(original);
+  Rng walk_rng(62);
+  const SamplingList walk = RandomWalkSample(
+      oracle, static_cast<NodeId>(walk_rng.NextIndex(original.NumNodes())),
+      original.NumNodes() / 10, walk_rng);
+
+  std::vector<Graph> runs;
+  std::vector<double> final_distances;
+  for (const std::size_t threads : {1u, 2u, 8u}) {
+    RestorationOptions options;
+    options.rewire.rewiring_coefficient = 5.0;
+    options.estimator.threads = threads;
+    Rng rng(63);
+    RestorationResult result = RestoreProposed(walk, options, rng);
+    runs.push_back(std::move(result.graph));
+    final_distances.push_back(result.rewire_stats.final_distance);
+  }
+  for (std::size_t r = 1; r < runs.size(); ++r) {
+    ASSERT_EQ(runs[r].NumEdges(), runs[0].NumEdges());
+    for (EdgeId e = 0; e < runs[0].NumEdges(); ++e) {
+      ASSERT_EQ(runs[r].edge(e).u, runs[0].edge(e).u)
+          << "edge " << e << " at variant " << r;
+      ASSERT_EQ(runs[r].edge(e).v, runs[0].edge(e).v)
+          << "edge " << e << " at variant " << r;
+    }
+    EXPECT_EQ(final_distances[r], final_distances[0]);
+  }
+}
+
+}  // namespace
+}  // namespace sgr

@@ -90,8 +90,8 @@ TEST(ScenarioSpecTest, ParsesFullDocument) {
   EXPECT_DOUBLE_EQ(spec.estimators[1].collision_fraction, 0.05);
   EXPECT_EQ(spec.rcs, (std::vector<double>{25.0, 50.0}));
   EXPECT_EQ(spec.protects, (std::vector<bool>{true, false}));
-  EXPECT_EQ(spec.frontier_walkers, 12u);
-  EXPECT_EQ(spec.rewire_batch, 64u);
+  EXPECT_EQ(spec.frontier_walkers, (std::vector<std::size_t>{12}));
+  EXPECT_EQ(spec.rewire_batches, (std::vector<std::size_t>{64}));
   EXPECT_EQ(spec.rewire_threads, 3u);
   const ExperimentConfig config = spec.ToExperimentConfig(0.1);
   EXPECT_EQ(config.restoration.parallel_rewire.batch_size, 64u);
@@ -141,6 +141,74 @@ TEST(ScenarioSpecTest, AxesAcceptScalarAndArrayForms) {
                                       CrawlerKind::kFrontier,
                                       CrawlerKind::kMhrw}));
   EXPECT_EQ(array.ExpandKnobs().size(), 3u);
+}
+
+TEST(ScenarioSpecTest, RewireBatchAndFrontierWalkersAxes) {
+  // Scalar form (the historical document shape) still parses to a
+  // single-value axis...
+  const ScenarioSpec scalar = ScenarioSpec::FromJson(Json::Parse(R"({
+    "datasets": ["anybeat"],
+    "rewire_batch": 128,
+    "frontier_walkers": 7,
+    "crawler": "frontier",
+    "methods": ["rw"]
+  })"));
+  EXPECT_EQ(scalar.rewire_batches, (std::vector<std::size_t>{128}));
+  EXPECT_EQ(scalar.frontier_walkers, (std::vector<std::size_t>{7}));
+  EXPECT_EQ(scalar.ExpandKnobs().size(), 1u);
+
+  // ...and the array form sweeps. Expansion order: protects-major,
+  // rewire_batch, then frontier_walkers innermost.
+  const ScenarioSpec array = ScenarioSpec::FromJson(Json::Parse(R"({
+    "datasets": ["anybeat"],
+    "rewire_batch": [0, 64],
+    "frontier_walkers": [2, 10, 50],
+    "crawler": "frontier",
+    "methods": ["rw"]
+  })"));
+  EXPECT_EQ(array.rewire_batches, (std::vector<std::size_t>{0, 64}));
+  EXPECT_EQ(array.frontier_walkers,
+            (std::vector<std::size_t>{2, 10, 50}));
+  const std::vector<CellKnobs> knobs = array.ExpandKnobs();
+  ASSERT_EQ(knobs.size(), 6u);
+  EXPECT_EQ(knobs[0].rewire_batch, 0u);
+  EXPECT_EQ(knobs[0].frontier_walkers, 2u);
+  EXPECT_EQ(knobs[1].rewire_batch, 0u);
+  EXPECT_EQ(knobs[1].frontier_walkers, 10u);
+  EXPECT_EQ(knobs[3].rewire_batch, 64u);
+  EXPECT_EQ(knobs[3].frontier_walkers, 2u);
+
+  // The axis values reach the per-cell config.
+  ExperimentConfig config = array.ToExperimentConfig(knobs[3]);
+  EXPECT_EQ(config.restoration.parallel_rewire.batch_size, 64u);
+  EXPECT_EQ(config.frontier_walkers, 2u);
+
+  // Canonical round trip: scalar stays scalar, array stays array,
+  // byte-for-byte through show -> parse -> show.
+  for (const ScenarioSpec* spec : {&scalar, &array}) {
+    const std::string shown = spec->ToJson().Dump(2);
+    EXPECT_EQ(shown,
+              ScenarioSpec::FromJson(Json::Parse(shown)).ToJson().Dump(2));
+  }
+}
+
+TEST(ScenarioSpecTest, ParallelAssemblyAndThreadKnobsParse) {
+  const ScenarioSpec spec = ScenarioSpec::FromJson(Json::Parse(R"({
+    "datasets": ["anybeat"],
+    "parallel_assembly": true,
+    "assembly_threads": 4,
+    "estimator_threads": 3
+  })"));
+  EXPECT_TRUE(spec.parallel_assembly);
+  EXPECT_EQ(spec.assembly_threads, 4u);
+  EXPECT_EQ(spec.estimator_threads, 3u);
+  const ExperimentConfig config = spec.ToExperimentConfig(0.1);
+  EXPECT_TRUE(config.restoration.parallel_assembly.enabled);
+  EXPECT_EQ(config.restoration.parallel_assembly.threads, 4u);
+  EXPECT_EQ(config.restoration.estimator.threads, 3u);
+  const std::string shown = spec.ToJson().Dump(2);
+  EXPECT_EQ(shown,
+            ScenarioSpec::FromJson(Json::Parse(shown)).ToJson().Dump(2));
 }
 
 TEST(ScenarioSpecTest, CrossAxisRulesEnforced) {
@@ -212,9 +280,18 @@ TEST(ScenarioSpecTest, AblationBuiltinsSweepTheirAxes) {
             JointEstimatorMode::kTraversedEdgesOnly);
   EXPECT_EQ(BuiltinScenario("ablation-rewire").protects,
             (std::vector<bool>{true, false}));
+  const ScenarioSpec batch = BuiltinScenario("ablation-batch");
+  EXPECT_EQ(batch.rewire_batches, (std::vector<std::size_t>{0, 64, 256}));
+  EXPECT_TRUE(batch.parallel_assembly);
+  const ScenarioSpec frontier = BuiltinScenario("ablation-frontier");
+  EXPECT_EQ(frontier.frontier_walkers,
+            (std::vector<std::size_t>{2, 10, 50}));
+  EXPECT_EQ(frontier.crawlers,
+            (std::vector<CrawlerKind>{CrawlerKind::kFrontier}));
   // Each ablation pins the method list to the proposed pipeline.
   for (const char* name :
-       {"ablation-walk", "ablation-rc", "ablation-jdm", "ablation-rewire"}) {
+       {"ablation-walk", "ablation-rc", "ablation-jdm", "ablation-rewire",
+        "ablation-batch", "ablation-frontier"}) {
     EXPECT_EQ(BuiltinScenario(name).methods,
               (std::vector<MethodKind>{MethodKind::kProposed}))
         << name;
@@ -263,6 +340,19 @@ TEST(ScenarioSpecTest, ValidationErrors) {
       R"({"datasets": ["anybeat"], "protect_subgraph": [true, true]})",
       R"({"datasets": ["anybeat"], "protect_subgraph": 1})",
       R"({"datasets": ["anybeat"], "frontier_walkers": 0})",
+      R"({"datasets": ["anybeat"], "frontier_walkers": []})",
+      R"({"datasets": ["anybeat"], "crawler": "frontier",
+          "methods": ["rw"], "frontier_walkers": [5, 5]})",
+      // A walker sweep without the frontier crawler duplicates cells —
+      // as does a sweep on a mixed crawler axis (the rw cells would run
+      // once per walker value).
+      R"({"datasets": ["anybeat"], "frontier_walkers": [2, 10]})",
+      R"({"datasets": ["anybeat"], "crawler": ["rw", "frontier"],
+          "methods": ["rw"], "frontier_walkers": [2, 10]})",
+      R"({"datasets": ["anybeat"], "rewire_batch": []})",
+      R"({"datasets": ["anybeat"], "rewire_batch": [64, 64]})",
+      R"({"datasets": ["anybeat"], "rewire_batch": "big"})",
+      R"({"datasets": ["anybeat"], "parallel_assembly": 1})",
       R"({"datasets": ["anybeat"], "snowball_k": 0})",
       R"({"datasets": ["anybeat"], "forest_fire_pf": 1})",
       R"({"datasets": ["anybeat"], "simplify_output": "yes"})",
@@ -291,8 +381,12 @@ TEST(ScenarioSpecTest, NonFiniteNumbersRejectedForEveryNumericKnob) {
       R"({"datasets": ["anybeat"],
           "estimator": {"collision_fraction": %}})",
       R"({"datasets": ["anybeat"], "frontier_walkers": %})",
+      R"({"datasets": ["anybeat"], "frontier_walkers": [%]})",
       R"({"datasets": ["anybeat"], "rewire_batch": %})",
+      R"({"datasets": ["anybeat"], "rewire_batch": [%]})",
       R"({"datasets": ["anybeat"], "rewire_threads": %})",
+      R"({"datasets": ["anybeat"], "assembly_threads": %})",
+      R"({"datasets": ["anybeat"], "estimator_threads": %})",
       R"({"datasets": ["anybeat"], "path_sources": %})",
       R"({"datasets": ["anybeat"], "snowball_k": %})",
       R"({"datasets": ["anybeat"], "forest_fire_pf": %})",
@@ -556,7 +650,7 @@ TEST(ScenarioEngineTest,
   // determinism contract. The spec pins trials to one engine thread so
   // only the rewire worker count varies.
   ScenarioSpec spec = TinySpec();
-  spec.rewire_batch = 32;
+  spec.rewire_batches = {32};
   ASSERT_EQ(spec.rewire_threads, 1u);  // the default the override beats
 
   const ScenarioRunResult one =
@@ -695,6 +789,77 @@ TEST(ScenarioEngineTest, MultiAxisReportByteIdenticalAcrossThreadCounts) {
   const std::string b =
       StripVolatile(ScenarioReportToJson(RunScenario(spec, 4))).Dump(2);
   EXPECT_EQ(a, b);
+}
+
+TEST(ScenarioEngineTest,
+     ReportByteIdenticalAcrossAssemblyAndEstimatorThreads) {
+  // The intra-trial engines this PR parallelizes: a spec that enables
+  // the parallel assembly and sweeps the rewire_batch axis must produce
+  // the same StripVolatile'd report no matter how many workers score the
+  // assembly draws or the estimator chunks.
+  ScenarioSpec spec = TinySpec();
+  spec.parallel_assembly = true;
+  spec.rewire_batches = {0, 16};
+  ASSERT_EQ(spec.assembly_threads, 1u);
+  ASSERT_EQ(spec.estimator_threads, 1u);
+
+  const ScenarioRunResult one = RunScenario(
+      spec, 1, nullptr, kThreadsFromSpec, /*assembly_threads_override=*/1,
+      /*estimator_threads_override=*/1);
+  const ScenarioRunResult many = RunScenario(
+      spec, 1, nullptr, kThreadsFromSpec, /*assembly_threads_override=*/8,
+      /*estimator_threads_override=*/8);
+  EXPECT_EQ(many.assembly_threads, 8u);
+  EXPECT_EQ(many.estimator_threads, 8u);
+
+  const std::string a = StripVolatile(ScenarioReportToJson(one)).Dump(2);
+  const std::string b = StripVolatile(ScenarioReportToJson(many)).Dump(2);
+  EXPECT_EQ(a, b);
+  // The overrides never leak into the deterministic spec echo; the new
+  // knobs do appear there and in the cell echo.
+  EXPECT_NE(a.find("\"assembly_threads\": 1"), std::string::npos);
+  EXPECT_NE(a.find("\"estimator_threads\": 1"), std::string::npos);
+  EXPECT_NE(a.find("\"parallel_assembly\": true"), std::string::npos);
+  EXPECT_NE(a.find("\"rewire_batch\": 0"), std::string::npos);
+  EXPECT_NE(a.find("\"rewire_batch\": 16"), std::string::npos);
+  EXPECT_NE(a.find("\"frontier_walkers\": 10"), std::string::npos);
+
+  // The batch axis doubled the matrix, and the cells echo their batch
+  // coordinate (cells expand batch-minor within each fraction).
+  ASSERT_EQ(one.cells.size(), 4u);  // 2 fractions x 2 batches
+  EXPECT_EQ(one.cells[0].rewire_batch, 0u);
+  EXPECT_EQ(one.cells[1].rewire_batch, 16u);
+  EXPECT_EQ(one.cells[0].frontier_walkers, 10u);
+  // The two batch coordinates select different rewiring trajectories for
+  // the same seeds (batch is an algorithm knob).
+  EXPECT_NE(
+      one.cells[0].methods.at(MethodKind::kProposed).rewire.rounds,
+      one.cells[1].methods.at(MethodKind::kProposed).rewire.rounds);
+}
+
+TEST(ScenarioEngineTest, FrontierWalkerSweepChangesTheSample) {
+  ScenarioSpec spec = ScenarioSpec::FromJson(Json::Parse(R"({
+    "name": "walkers",
+    "datasets": [{"name": "tiny-powerlaw", "model": "powerlaw",
+                  "nodes": 200, "edges_per_node": 3, "triad_p": 0.4,
+                  "seed": 11}],
+    "fractions": [0.2],
+    "methods": ["rw"],
+    "crawler": "frontier",
+    "frontier_walkers": [2, 25],
+    "trials": 2,
+    "seed_base": 99,
+    "path_sources": 20
+  })"));
+  const ScenarioRunResult result = RunScenario(spec, 1);
+  ASSERT_EQ(result.cells.size(), 2u);
+  EXPECT_EQ(result.cells[0].frontier_walkers, 2u);
+  EXPECT_EQ(result.cells[1].frontier_walkers, 25u);
+  // More coupled walkers spread the same budget differently — the walk
+  // length (a deterministic function of the sample) must differ.
+  EXPECT_NE(
+      result.cells[0].methods.at(MethodKind::kRandomWalk).sample_steps,
+      result.cells[1].methods.at(MethodKind::kRandomWalk).sample_steps);
 }
 
 TEST(ScenarioEngineTest, NonWalkCrawlerRunsSubgraphMethods) {

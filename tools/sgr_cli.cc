@@ -25,7 +25,8 @@
 //       Print the per-property normalized L1 distances.
 //
 //   sgr run scenario.json --out results.json [--threads N]
-//           [--rewire-threads N]
+//           [--rewire-threads N] [--assembly-threads N]
+//           [--estimator-threads N]
 //   sgr run tables-smoke --out results.json
 //       Execute a declarative scenario — a {dataset x crawler x budget x
 //       method} matrix described by one JSON file or a built-in name —
@@ -35,10 +36,14 @@
 //       environment). --threads (or SGR_THREADS; 0 = hardware
 //       concurrency) overrides the scenario's own trial thread count;
 //       --rewire-threads (or SGR_REWIRE_THREADS) overrides its
-//       intra-trial rewiring worker count (used when the spec sets
-//       "rewire_batch" > 0). The report's non-timing content is
-//       identical for every value of either knob. Without --out the
-//       report goes to stdout.
+//       intra-trial rewiring worker count (used when the spec's
+//       "rewire_batch" axis has a nonzero value), --assembly-threads
+//       (SGR_ASSEMBLY_THREADS) the parallel Algorithm 5 assembly worker
+//       count (used with "parallel_assembly": true), and
+//       --estimator-threads (SGR_ESTIMATOR_THREADS) the chunked
+//       estimator pass's worker count. The report's non-timing content
+//       is identical for every value of every one of these knobs.
+//       Without --out the report goes to stdout.
 //
 //   sgr scenarios list
 //   sgr scenarios show tables-smoke
@@ -46,15 +51,21 @@
 //       starting point.
 //
 //   sgr diff old.json new.json [--l1-tol X] [--time-tol R] [--no-timings]
+//            [--markdown 1]
 //       Compare two sgr-report/1 files: cells are paired by (dataset,
-//       fraction, walk, crawler, estimator, rc, protect_subgraph) and
-//       each method aggregate is checked for deterministic L1 drift
-//       (tolerance --l1-tol, default 1e-9 — same spec + seed must
-//       reproduce the same numbers) and timing slowdowns (relative
-//       tolerance --time-tol, default 0.5 = +50%; --no-timings 1 skips
-//       them entirely). Exits 1 when any regression is found, so CI can
-//       gate on a checked-in baseline.
+//       fraction, walk, crawler, estimator, rc, protect_subgraph,
+//       rewire_batch, frontier_walkers) and each method aggregate is
+//       checked for deterministic L1 drift (tolerance --l1-tol, default
+//       1e-9 — same spec + seed must reproduce the same numbers) and
+//       timing slowdowns (relative tolerance --time-tol, default 0.5 =
+//       +50%; --no-timings 1 skips them entirely). --markdown 1 renders
+//       the findings as a GitHub-flavored-markdown fragment (summary
+//       table + finding lists) for drop-in BENCHMARKS.md updates. Exits
+//       1 when any regression is found, so CI can gate on a checked-in
+//       baseline.
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -316,27 +327,50 @@ int CmdRun(const std::string& source, const Args& args) {
   if (args.Has("threads")) {
     threads = static_cast<std::size_t>(args.GetUint("threads", 1));
   }
-  // Same precedence for the intra-trial rewiring workers (only active
-  // when the spec enables the batched engine via "rewire_batch").
+  // Same precedence for the intra-trial workers: the rewiring engine
+  // (only active when the spec's "rewire_batch" axis has a nonzero
+  // value), the parallel assembly engine ("parallel_assembly": true),
+  // and the chunked estimator pass (always active).
   std::size_t rewire_threads = static_cast<std::size_t>(EnvOr(
       "SGR_REWIRE_THREADS", static_cast<double>(spec.rewire_threads)));
   if (args.Has("rewire-threads")) {
     rewire_threads =
         static_cast<std::size_t>(args.GetUint("rewire-threads", 1));
   }
+  std::size_t assembly_threads = static_cast<std::size_t>(EnvOr(
+      "SGR_ASSEMBLY_THREADS", static_cast<double>(spec.assembly_threads)));
+  if (args.Has("assembly-threads")) {
+    assembly_threads =
+        static_cast<std::size_t>(args.GetUint("assembly-threads", 1));
+  }
+  std::size_t estimator_threads = static_cast<std::size_t>(
+      EnvOr("SGR_ESTIMATOR_THREADS",
+            static_cast<double>(spec.estimator_threads)));
+  if (args.Has("estimator-threads")) {
+    estimator_threads =
+        static_cast<std::size_t>(args.GetUint("estimator-threads", 1));
+  }
 
   std::cerr << "scenario '" << spec.name << "': " << spec.datasets.size()
             << " dataset(s) x " << spec.fractions.size()
             << " fraction(s), " << spec.trials << " trials, threads = "
             << ResolveThreadCount(threads);
-  if (spec.rewire_batch > 0) {
-    std::cerr << ", rewire batch = " << spec.rewire_batch
-              << " on " << ResolveThreadCount(rewire_threads)
+  const bool batched_rewire =
+      std::any_of(spec.rewire_batches.begin(), spec.rewire_batches.end(),
+                  [](std::size_t batch) { return batch != 0; });
+  if (batched_rewire) {
+    std::cerr << ", rewire on " << ResolveThreadCount(rewire_threads)
               << " thread(s)";
   }
-  std::cerr << "\n";
+  if (spec.parallel_assembly) {
+    std::cerr << ", assembly on " << ResolveThreadCount(assembly_threads)
+              << " thread(s)";
+  }
+  std::cerr << ", estimator on " << ResolveThreadCount(estimator_threads)
+            << " thread(s)\n";
   const ScenarioRunResult result =
-      RunScenario(spec, threads, &std::cerr, rewire_threads);
+      RunScenario(spec, threads, &std::cerr, rewire_threads,
+                  assembly_threads, estimator_threads);
   const Json report = ScenarioReportToJson(result);
   if (args.Has("out")) {
     const std::string path = args.Get("out");
@@ -350,7 +384,7 @@ int CmdRun(const std::string& source, const Args& args) {
 }
 
 /// sgr diff <old.json> <new.json> [--l1-tol X] [--time-tol R]
-/// [--no-timings 1]
+/// [--no-timings 1] [--markdown 1]
 int CmdDiff(const std::string& old_path, const std::string& new_path,
             const Args& args) {
   const auto load = [](const std::string& path) {
@@ -370,7 +404,11 @@ int CmdDiff(const std::string& old_path, const std::string& new_path,
 
   const DiffResult result =
       DiffReports(load(old_path), load(new_path), options);
-  PrintDiff(result, std::cout);
+  if (args.GetOr("markdown", "0") == "1") {
+    PrintDiffMarkdown(result, old_path, new_path, std::cout);
+  } else {
+    PrintDiff(result, std::cout);
+  }
   return result.HasRegression() ? 1 : 0;
 }
 
@@ -417,9 +455,13 @@ void PrintUsage() {
       "  run       SCENARIO(.json file or built-in name) [--out FILE]\n"
       "            [--threads N]   (or SGR_THREADS; 0 = all cores)\n"
       "            [--rewire-threads N]   (or SGR_REWIRE_THREADS; used\n"
-      "            when the spec sets rewire_batch > 0)\n"
+      "            when the spec's rewire_batch axis is nonzero)\n"
+      "            [--assembly-threads N]   (or SGR_ASSEMBLY_THREADS;\n"
+      "            used with parallel_assembly: true)\n"
+      "            [--estimator-threads N]   (or SGR_ESTIMATOR_THREADS)\n"
       "  diff      OLD.json NEW.json [--l1-tol X] [--time-tol R]\n"
-      "            [--no-timings 1]   (exit 1 on regression)\n"
+      "            [--no-timings 1] [--markdown 1]   (exit 1 on\n"
+      "            regression)\n"
       "  scenarios list | show NAME\n";
 }
 
@@ -436,7 +478,8 @@ int main(int argc, char** argv) {
       if (argc < 3 || argv[2][0] == '-') {
         throw std::runtime_error(
             "usage: sgr run <scenario.json | built-in name> [--out FILE] "
-            "[--threads N] [--rewire-threads N]");
+            "[--threads N] [--rewire-threads N] [--assembly-threads N] "
+            "[--estimator-threads N]");
       }
       return CmdRun(argv[2], Args(argc, argv, 3));
     }
@@ -444,7 +487,7 @@ int main(int argc, char** argv) {
       if (argc < 4 || argv[2][0] == '-' || argv[3][0] == '-') {
         throw std::runtime_error(
             "usage: sgr diff <old.json> <new.json> [--l1-tol X] "
-            "[--time-tol R] [--no-timings 1]");
+            "[--time-tol R] [--no-timings 1] [--markdown 1]");
       }
       return CmdDiff(argv[2], argv[3], Args(argc, argv, 4));
     }
