@@ -37,16 +37,19 @@ RestorationResult RestoreGjoka(const SamplingList& list,
     result.graph = Construct2kGraph(targets.n_star, m_star, rng);
   }
 
+  RewireOptions rewire_options = options.rewire;
+  rewire_options.track_properties = options.track_properties;
+  rewire_options.stop_epsilon = options.stop_epsilon;
   Timer rewiring;
   if (options.parallel_rewire.batch_size > 0) {
     result.rewire_stats = RewireToClusteringParallel(
         result.graph, /*num_protected_edges=*/0,
-        result.estimates.clustering, options.rewire,
+        result.estimates.clustering, rewire_options,
         options.parallel_rewire, rng.engine()());
   } else {
     result.rewire_stats = RewireToClustering(
         result.graph, /*num_protected_edges=*/0,
-        result.estimates.clustering, options.rewire, rng);
+        result.estimates.clustering, rewire_options, rng);
   }
   result.rewiring_seconds = rewiring.Seconds();
 

@@ -56,6 +56,17 @@ struct RestorationOptions {
   /// sampled subgraph. Off by default: the paper's generated graphs keep
   /// them (Section III-A allows both).
   bool simplify_output = false;
+
+  /// When true, the rewiring phase maintains an incremental
+  /// PropertyTracker over committed swaps and reports a convergence
+  /// curve (RewireStats::curve). Observation only — results are
+  /// byte-identical with tracking on or off (see restore/rewirer.h).
+  bool track_properties = false;
+
+  /// Adaptive rewiring stop (requires `track_properties`): halt the
+  /// rewiring phase once the tracked L1 clustering distance is within
+  /// this epsilon of the target. 0 disables the stop.
+  double stop_epsilon = 0.0;
 };
 
 /// Result of applying a restoration method to a sample.

@@ -56,15 +56,18 @@ RestorationResult RestoreProposed(const SamplingList& list,
   // stream is untouched when the engine is off.
   const std::size_t protected_edges =
       options.protect_subgraph ? sub.graph.NumEdges() : 0;
+  RewireOptions rewire_options = options.rewire;
+  rewire_options.track_properties = options.track_properties;
+  rewire_options.stop_epsilon = options.stop_epsilon;
   Timer rewiring;
   if (options.parallel_rewire.batch_size > 0) {
     result.rewire_stats = RewireToClusteringParallel(
         result.graph, protected_edges, result.estimates.clustering,
-        options.rewire, options.parallel_rewire, rng.engine()());
+        rewire_options, options.parallel_rewire, rng.engine()());
   } else {
     result.rewire_stats =
         RewireToClustering(result.graph, protected_edges,
-                           result.estimates.clustering, options.rewire, rng);
+                           result.estimates.clustering, rewire_options, rng);
   }
   result.rewiring_seconds = rewiring.Seconds();
 

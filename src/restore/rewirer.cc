@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "analysis/property_tracker.h"
 #include "dk/triangle_tracker.h"
 #include "exp/parallel.h"
 
@@ -81,6 +82,49 @@ std::size_t TotalAttempts(const RewireOptions& options,
 /// Stream tag of the per-round proposal RNG (see DeriveRoundSeed).
 constexpr std::uint64_t kRewireProposalStream = 0x5e71ULL;
 
+/// Attempt count at which convergence sample `index` (0-based) is due:
+/// the samples split the attempt budget into kConvergenceSamples even
+/// slices, the last one landing exactly on `total`.
+std::size_t SampleThreshold(std::size_t total, std::size_t index) {
+  return total * (index + 1) / kConvergenceSamples;
+}
+
+/// Records every convergence sample that became due at `attempts_done`
+/// trial swaps. All reads — no RecomputeObjective, no RNG draws — so a
+/// tracked run's trajectory is identical to an untracked one.
+void RecordDueSamples(RewireStats& stats, std::size_t total_attempts,
+                      std::size_t attempts_done, double objective,
+                      const PropertyTracker& props,
+                      std::size_t& next_sample) {
+  while (next_sample < kConvergenceSamples &&
+         attempts_done >= SampleThreshold(total_attempts, next_sample)) {
+    ConvergenceSample sample;
+    sample.attempts = attempts_done;
+    sample.objective = objective;
+    sample.clustering_global = props.ClusteringGlobal();
+    sample.components = props.NumComponents();
+    sample.lcc = props.LccSize();
+    stats.curve.push_back(sample);
+    ++next_sample;
+  }
+}
+
+/// Pads the curve to its fixed length with the final state — the shape an
+/// adaptive-stop run leaves behind, so per-index aggregation across
+/// trials stays aligned.
+void PadCurve(RewireStats& stats, std::size_t attempts_done,
+              double objective, const PropertyTracker& props) {
+  ConvergenceSample sample;
+  sample.attempts = attempts_done;
+  sample.objective = objective;
+  sample.clustering_global = props.ClusteringGlobal();
+  sample.components = props.NumComponents();
+  sample.lcc = props.LccSize();
+  while (stats.curve.size() < kConvergenceSamples) {
+    stats.curve.push_back(sample);
+  }
+}
+
 }  // namespace
 
 RewireStats RewireToClustering(Graph& g, std::size_t num_protected_edges,
@@ -101,7 +145,22 @@ RewireStats RewireToClustering(Graph& g, std::size_t num_protected_edges,
   const std::size_t total_attempts = TotalAttempts(options, num_candidates);
   stats.attempts = total_attempts;
 
-  for (std::size_t attempt = 0; attempt < total_attempts; ++attempt) {
+  // Property tracking observes committed swaps only; with tracking off
+  // this engine's control flow and RNG stream are untouched.
+  const bool tracking = options.track_properties;
+  std::unique_ptr<PropertyTracker> props;
+  if (tracking) props = std::make_unique<PropertyTracker>(g);
+  std::size_t next_sample = 0;
+  std::size_t attempts_done = 0;
+
+  const bool stop_at_start = tracking && options.stop_epsilon > 0.0 &&
+                             current <= options.stop_epsilon;
+  if (stop_at_start) {
+    stats.stopped_early = true;
+    stats.attempts = 0;
+  }
+  for (std::size_t attempt = 0;
+       !stop_at_start && attempt < total_attempts; ++attempt) {
     // resync_interval == 0 means "never resync" (a modulo by zero here
     // used to be undefined behavior).
     if (options.resync_interval != 0 &&
@@ -111,26 +170,39 @@ RewireStats RewireToClustering(Graph& g, std::size_t num_protected_edges,
     }
     SwapProposal p;
     DrawProposal(g, num_protected_edges, num_candidates, rng, p);
-    if (!p.valid) continue;
-
-    // Trial: apply on the tracker, accept iff the distance strictly drops.
-    tracker.RemoveEdge(p.i, p.j);
-    tracker.RemoveEdge(p.a, p.b);
-    tracker.AddEdge(p.i, p.b);
-    tracker.AddEdge(p.a, p.j);
-    const double proposed = tracker.Objective();
-    if (proposed < current) {
-      g.ReplaceEdge(p.e1, p.i, p.b);
-      g.ReplaceEdge(p.e2, p.a, p.j);
-      current = proposed;
-      ++stats.accepted;
-    } else {
-      tracker.RemoveEdge(p.i, p.b);
-      tracker.RemoveEdge(p.a, p.j);
-      tracker.AddEdge(p.i, p.j);
-      tracker.AddEdge(p.a, p.b);
+    if (p.valid) {
+      // Trial: apply on the tracker, accept iff the distance strictly
+      // drops.
+      tracker.RemoveEdge(p.i, p.j);
+      tracker.RemoveEdge(p.a, p.b);
+      tracker.AddEdge(p.i, p.b);
+      tracker.AddEdge(p.a, p.j);
+      const double proposed = tracker.Objective();
+      if (proposed < current) {
+        g.ReplaceEdge(p.e1, p.i, p.b);
+        g.ReplaceEdge(p.e2, p.a, p.j);
+        current = proposed;
+        ++stats.accepted;
+        if (tracking) props->ApplySwap(p.i, p.j, p.a, p.b);
+      } else {
+        tracker.RemoveEdge(p.i, p.b);
+        tracker.RemoveEdge(p.a, p.j);
+        tracker.AddEdge(p.i, p.j);
+        tracker.AddEdge(p.a, p.b);
+      }
+    }
+    attempts_done = attempt + 1;
+    if (tracking) {
+      RecordDueSamples(stats, total_attempts, attempts_done, current,
+                       *props, next_sample);
+      if (options.stop_epsilon > 0.0 && current <= options.stop_epsilon) {
+        stats.stopped_early = true;
+        stats.attempts = attempts_done;
+        break;
+      }
     }
   }
+  if (tracking) PadCurve(stats, attempts_done, current, *props);
   tracker.RecomputeObjective();
   stats.final_distance = tracker.Objective();
   return stats;
@@ -153,6 +225,14 @@ RewireStats RewireToClusteringParallel(
   const std::size_t total_attempts = TotalAttempts(options, num_candidates);
   stats.attempts = total_attempts;
   if (total_attempts == 0) return stats;
+
+  // Property tracking observes the commit phase only (the single-writer
+  // step), so it is race-free and cannot perturb the byte-identical
+  // determinism across thread counts.
+  const bool tracking = options.track_properties;
+  std::unique_ptr<PropertyTracker> props;
+  if (tracking) props = std::make_unique<PropertyTracker>(g);
+  std::size_t next_sample = 0;
 
   const std::size_t batch_size =
       parallel.batch_size == 0 ? kDefaultRewireBatch : parallel.batch_size;
@@ -179,7 +259,13 @@ RewireStats RewireToClusteringParallel(
   // below, so a mid-run RecomputeObjective could not change any output.
   std::size_t attempts_done = 0;
   std::uint64_t round = 0;
-  while (attempts_done < total_attempts) {
+  bool stopped = tracking && options.stop_epsilon > 0.0 &&
+                 tracker.Objective() <= options.stop_epsilon;
+  if (stopped) {
+    stats.stopped_early = true;
+    stats.attempts = 0;
+  }
+  while (!stopped && attempts_done < total_attempts) {
     ++round;
     ++stats.rounds;
     const std::size_t this_batch =
@@ -260,6 +346,7 @@ RewireStats RewireToClusteringParallel(
       tracker.ApplySwap(prop.i, prop.j, prop.a, prop.b, &commit_classes);
       g.ReplaceEdge(prop.e1, prop.i, prop.b);
       g.ReplaceEdge(prop.e2, prop.a, prop.j);
+      if (tracking) props->ApplySwap(prop.i, prop.j, prop.a, prop.b);
       ++stats.accepted;
       committed_edges.push_back(prop.e1);
       committed_edges.push_back(prop.e2);
@@ -274,7 +361,21 @@ RewireStats RewireToClusteringParallel(
     }
 
     attempts_done += this_batch;
+    if (tracking) {
+      // The round objective is the incrementally maintained one — the
+      // value acceptance already derives from — so sampling reads state,
+      // never recomputes or perturbs it.
+      RecordDueSamples(stats, total_attempts, attempts_done,
+                       tracker.Objective(), *props, next_sample);
+      if (options.stop_epsilon > 0.0 &&
+          tracker.Objective() <= options.stop_epsilon) {
+        stopped = true;
+        stats.stopped_early = true;
+        stats.attempts = attempts_done;
+      }
+    }
   }
+  if (tracking) PadCurve(stats, attempts_done, tracker.Objective(), *props);
   tracker.RecomputeObjective();
   stats.final_distance = tracker.Objective();
   return stats;

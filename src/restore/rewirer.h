@@ -21,6 +21,22 @@ struct RewireOptions {
   /// "never resync" (the final distance is always recomputed from
   /// scratch regardless).
   std::size_t resync_interval = 1 << 20;
+
+  /// When true, the engine maintains a PropertyTracker over the committed
+  /// swaps (never over speculative proposals) and fills
+  /// RewireStats::curve with kConvergenceSamples evenly spaced
+  /// convergence samples. Pure observation: the proposal stream, the
+  /// acceptance decisions, and the rewired graph are byte-identical with
+  /// tracking on or off (no extra RNG draws, no objective perturbation).
+  bool track_properties = false;
+
+  /// Adaptive stop: when `track_properties` is set and `stop_epsilon` is
+  /// positive, the engine halts as soon as the tracked normalized L1
+  /// distance to the target clustering is <= stop_epsilon
+  /// (RewireStats::stopped_early records that it fired, and
+  /// RewireStats::attempts then reports the attempts actually made).
+  /// 0 disables the stop.
+  double stop_epsilon = 0.0;
 };
 
 /// Options of the batched speculative rewiring engine
@@ -49,9 +65,25 @@ struct ParallelRewireOptions {
 /// per-round fan-out, small enough that intra-round conflicts stay rare.
 inline constexpr std::size_t kDefaultRewireBatch = 256;
 
+/// One point of the rewiring convergence curve recorded when
+/// RewireOptions::track_properties is on: the incrementally tracked
+/// swap-sensitive properties after `attempts` trial swaps.
+struct ConvergenceSample {
+  std::size_t attempts = 0;        ///< attempts completed at this sample
+  double objective = 0.0;          ///< normalized L1 clustering distance
+  double clustering_global = 0.0;  ///< c̄ of the working graph
+  std::size_t components = 0;      ///< connected components
+  std::size_t lcc = 0;             ///< largest-component size
+};
+
+/// Number of evenly spaced convergence samples a tracked run records.
+/// Fixed so per-sample aggregation across trials lines up index-by-index.
+inline constexpr std::size_t kConvergenceSamples = 16;
+
 /// Outcome statistics of a rewiring run.
 struct RewireStats {
-  std::size_t attempts = 0;          ///< R, total trial swaps
+  std::size_t attempts = 0;          ///< R, total trial swaps (actual count
+                                     ///  when the adaptive stop fires)
   std::size_t accepted = 0;          ///< swaps that reduced the objective
   double initial_distance = 0.0;     ///< normalized L1 before rewiring
   double final_distance = 0.0;       ///< normalized L1 after rewiring
@@ -61,6 +93,13 @@ struct RewireStats {
   std::size_t evaluated = 0;     ///< well-formed proposals scored speculatively
   std::size_t conflicts = 0;     ///< proposals dropped: edge re-rewired earlier in the round
   std::size_t reevaluated = 0;   ///< stale scores re-derived at commit time
+
+  // Property tracking (RewireOptions::track_properties). `curve` holds
+  // exactly kConvergenceSamples points for a tracked run that rewired
+  // anything, padded with the final state when the adaptive stop fired;
+  // empty when tracking is off or the guard paths returned early.
+  std::vector<ConvergenceSample> curve;
+  bool stopped_early = false;    ///< the stop_epsilon halt fired
 };
 
 /// Rewires edges of `g` so that its degree-dependent clustering coefficient

@@ -272,6 +272,9 @@ struct Comparator {
             std::max(1.0, std::abs(old_steps->AsNumber())));
       }
 
+      CompareConvergence(where, old_method.Find("convergence"),
+                         new_method.Find("convergence"));
+
       const Json* old_timings = old_method.Find("timings");
       const Json* new_timings = new_method.Find("timings");
       if (old_timings != nullptr && new_timings != nullptr) {
@@ -281,6 +284,65 @@ struct Comparator {
         CompareTiming(where + " rewiring_seconds",
                       NumberOr(*old_timings, "rewiring_seconds", 0.0),
                       NumberOr(*new_timings, "rewiring_seconds", 0.0));
+      }
+    }
+  }
+
+  /// The property tracker's convergence curve is deterministic content
+  /// like the rewire counters. A curve the old report recorded must
+  /// still be there and agree point by point; a curve appearing only in
+  /// the new report is a note (the baseline predates the tracker knob),
+  /// not a regression.
+  void CompareConvergence(const std::string& where, const Json* old_block,
+                          const Json* new_block) {
+    const bool old_has = old_block != nullptr && old_block->IsObject();
+    const bool new_has = new_block != nullptr && new_block->IsObject();
+    if (!old_has && !new_has) return;
+    if (old_has && !new_has) {
+      Finding(true, where +
+                        ": convergence curve missing from the new report");
+      return;
+    }
+    if (!old_has) {
+      Finding(false, where +
+                         ": convergence curve is new (not in the old "
+                         "report)");
+      return;
+    }
+    CompareDeterministic(where + " convergence stopped_early",
+                         NumberOr(*old_block, "stopped_early", 0.0),
+                         NumberOr(*new_block, "stopped_early", 0.0));
+    const Json* old_samples = old_block->Find("samples");
+    const Json* new_samples = new_block->Find("samples");
+    if (old_samples == nullptr || !old_samples->IsArray() ||
+        new_samples == nullptr || !new_samples->IsArray()) {
+      return;
+    }
+    if (old_samples->Items().size() != new_samples->Items().size()) {
+      std::ostringstream message;
+      message << where << ": convergence curve length changed ("
+              << old_samples->Items().size() << " -> "
+              << new_samples->Items().size() << ")";
+      Finding(true, message.str());
+      return;
+    }
+    for (std::size_t i = 0; i < old_samples->Items().size(); ++i) {
+      const Json& old_point = old_samples->Items()[i];
+      const Json& new_point = new_samples->Items()[i];
+      const std::string point_where =
+          where + " convergence[" + std::to_string(i) + "]";
+      // Count-like fields compare relative to the old magnitude (the
+      // sample_steps convention); the distance fields compare absolutely.
+      for (const char* field : {"attempts", "components", "lcc"}) {
+        const double old_value = NumberOr(old_point, field, 0.0);
+        CompareDeterministic(point_where + " " + field, old_value,
+                             NumberOr(new_point, field, 0.0),
+                             std::max(1.0, std::abs(old_value)));
+      }
+      for (const char* field : {"objective", "clustering_global"}) {
+        CompareDeterministic(point_where + " " + field,
+                             NumberOr(old_point, field, 0.0),
+                             NumberOr(new_point, field, 0.0));
       }
     }
   }

@@ -67,6 +67,21 @@ ScenarioCell RunScenarioCell(const std::string& dataset_name,
       aggregate.rewire.reevaluated += static_cast<double>(rw.reevaluated);
       aggregate.rewire.initial_distance += rw.initial_distance;
       aggregate.rewire.final_distance += rw.final_distance;
+      if (rw.stopped_early) aggregate.stopped_early += 1.0;
+      if (!rw.curve.empty()) {
+        if (aggregate.convergence.size() < rw.curve.size()) {
+          aggregate.convergence.resize(rw.curve.size());
+        }
+        for (std::size_t i = 0; i < rw.curve.size(); ++i) {
+          const ConvergenceSample& sample = rw.curve[i];
+          ConvergencePoint& point = aggregate.convergence[i];
+          point.attempts += static_cast<double>(sample.attempts);
+          point.objective += sample.objective;
+          point.clustering_global += sample.clustering_global;
+          point.components += static_cast<double>(sample.components);
+          point.lcc += static_cast<double>(sample.lcc);
+        }
+      }
     }
   }
   for (auto& [kind, aggregate] : cell.methods) {
@@ -83,6 +98,14 @@ ScenarioCell RunScenarioCell(const std::string& dataset_name,
     aggregate.rewire.reevaluated *= inv;
     aggregate.rewire.initial_distance *= inv;
     aggregate.rewire.final_distance *= inv;
+    aggregate.stopped_early *= inv;
+    for (ConvergencePoint& point : aggregate.convergence) {
+      point.attempts *= inv;
+      point.objective *= inv;
+      point.clustering_global *= inv;
+      point.components *= inv;
+      point.lcc *= inv;
+    }
   }
   return cell;
 }

@@ -99,6 +99,27 @@ Json ScenarioCellToJson(const ScenarioCell& cell) {
     rewire.Set("final_distance",
                Json::Number(aggregate.rewire.final_distance));
     entry.Set("rewire", std::move(rewire));
+    if (!aggregate.convergence.empty()) {
+      // Emitted only when the tracker ran, so tracking-off reports keep
+      // their exact historical byte layout. Deterministic content: the
+      // block survives StripVolatile and `sgr diff` pairs it.
+      Json convergence = Json::Object();
+      convergence.Set("stopped_early",
+                      Json::Number(aggregate.stopped_early));
+      Json samples = Json::Array();
+      for (const ConvergencePoint& point : aggregate.convergence) {
+        Json sample = Json::Object();
+        sample.Set("attempts", Json::Number(point.attempts));
+        sample.Set("objective", Json::Number(point.objective));
+        sample.Set("clustering_global",
+                   Json::Number(point.clustering_global));
+        sample.Set("components", Json::Number(point.components));
+        sample.Set("lcc", Json::Number(point.lcc));
+        samples.Push(std::move(sample));
+      }
+      convergence.Set("samples", std::move(samples));
+      entry.Set("convergence", std::move(convergence));
+    }
     Json timings = Json::Object();
     timings.Set("restore_seconds", Json::Number(aggregate.total_seconds));
     timings.Set("rewiring_seconds",

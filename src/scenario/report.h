@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "analysis/summary.h"
 #include "estimation/estimators.h"
@@ -30,6 +31,18 @@ struct RewireAggregate {
   double final_distance = 0.0;
 };
 
+/// One point of the mean convergence curve recorded by the incremental
+/// property tracker (RewireStats::curve averaged across a cell's trials).
+/// Deterministic content like the rewire counters: it survives
+/// StripVolatile and `sgr diff` compares it point by point.
+struct ConvergencePoint {
+  double attempts = 0.0;           ///< mean attempts consumed at sample
+  double objective = 0.0;          ///< mean tracked L1 clustering distance
+  double clustering_global = 0.0;  ///< mean tracked global clustering
+  double components = 0.0;         ///< mean connected-component count
+  double lcc = 0.0;                ///< mean largest-component size
+};
+
 /// Aggregate of one (dataset, fraction, method) cell across trials:
 /// distance statistics plus mean generation timings. Shared by the
 /// scenario engine and the benches (bench_common.h used to own this
@@ -42,6 +55,11 @@ struct MethodAggregate {
                                   ///  (deterministic: emitted outside
                                   ///  "timings")
   RewireAggregate rewire;         ///< mean rewiring stats per trial
+  std::vector<ConvergencePoint> convergence;  ///< mean tracker curve per
+                                              ///  trial (empty when
+                                              ///  tracking is off)
+  double stopped_early = 0.0;     ///< fraction of trials that hit the
+                                  ///  adaptive stop epsilon
 };
 
 /// One cell of a scenario matrix: a dataset at one coordinate of the

@@ -411,6 +411,10 @@ ScenarioSpec ScenarioSpec::FromJson(const Json& json) {
       spec.simplify_output = RequireBool(value, key);
     } else if (key == "dataset_scale") {
       spec.dataset_scale = RequireNumber(value, key);
+    } else if (key == "track_properties") {
+      spec.track_properties = RequireBool(value, key);
+    } else if (key == "stop_epsilon") {
+      spec.stop_epsilon = RequireNumber(value, key);
     } else {
       throw ScenarioError("unknown key '" + key + "'");
     }
@@ -630,6 +634,15 @@ void ScenarioSpec::Validate() const {
   if (dataset_scale < 0.0) {
     throw ScenarioError("'dataset_scale' must be >= 0");
   }
+  require_finite(stop_epsilon, "stop_epsilon");
+  if (stop_epsilon < 0.0) {
+    throw ScenarioError("'stop_epsilon' must be >= 0");
+  }
+  if (stop_epsilon > 0.0 && !track_properties) {
+    throw ScenarioError(
+        "'stop_epsilon' requires 'track_properties': true (the adaptive "
+        "stop reads the tracked clustering distance)");
+  }
 }
 
 Json ScenarioSpec::ToJson() const {
@@ -740,6 +753,8 @@ Json ScenarioSpec::ToJson() const {
   json.Set("forest_fire_pf", Json::Number(forest_fire_pf));
   json.Set("simplify_output", Json::Bool(simplify_output));
   json.Set("dataset_scale", Json::Number(dataset_scale));
+  json.Set("track_properties", Json::Bool(track_properties));
+  json.Set("stop_epsilon", Json::Number(stop_epsilon));
   return json;
 }
 
@@ -760,6 +775,8 @@ ExperimentConfig ScenarioSpec::ToExperimentConfig(
   config.restoration.parallel_assembly.threads = assembly_threads;
   config.restoration.estimator.threads = estimator_threads;
   config.restoration.simplify_output = simplify_output;
+  config.restoration.track_properties = track_properties;
+  config.restoration.stop_epsilon = stop_epsilon;
   config.restoration.protect_subgraph = knobs.protect_subgraph;
   config.restoration.estimator.joint_mode = knobs.estimator.joint_mode;
   config.restoration.estimator.collision_threshold_fraction =

@@ -166,6 +166,16 @@ struct ScenarioSpec {
   double forest_fire_pf = 0.7;
   bool simplify_output = false;
   double dataset_scale = 0.0;     ///< 0 = honor $SGR_DATASET_SCALE / 1.0
+  /// Incremental property tracking during the rewiring phase (JSON key
+  /// "track_properties"): when true, every generative method's rewiring
+  /// run records a convergence curve that the report emits as a
+  /// deterministic "convergence" block. Observation only — cells are
+  /// byte-identical with tracking on or off.
+  bool track_properties = false;
+  /// Adaptive rewiring stop epsilon (JSON key "stop_epsilon"; requires
+  /// `track_properties`): halt rewiring once the tracked L1 clustering
+  /// distance is within this value. 0 disables the stop.
+  double stop_epsilon = 0.0;
 
   /// Parses and validates a scenario document. Unknown keys, wrong types,
   /// out-of-range values, unknown dataset/method names, and empty

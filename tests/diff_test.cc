@@ -20,10 +20,12 @@ namespace {
 
 /// One-cell report with a single Proposed method entry. `cell_extra` is
 /// spliced into the cell object (e.g. R"("rc": 10,)") to exercise the
-/// knob pairing; `config` into the top-level config echo.
+/// knob pairing; `config` into the top-level config echo; `method_extra`
+/// into the method entry (e.g. a "convergence" block).
 Json MakeDoc(double average, double wall_seconds, double restore_seconds,
              const std::string& cell_extra = "",
-             const std::string& config = R"({"rc": 10})") {
+             const std::string& config = R"({"rc": 10})",
+             const std::string& method_extra = "") {
   const std::string text = R"({
     "schema": "sgr-report/1",
     "tool": "sgr run",
@@ -35,7 +37,7 @@ Json MakeDoc(double average, double wall_seconds, double restore_seconds,
        "seed_base": 7, "trials": 2,
        "methods": [
          {"method": "Proposed",
-          "sample_steps": 40,
+          "sample_steps": 40, )" + method_extra + R"(
           "distances": {"per_property": {"n": )" +
                            std::to_string(average) + R"(, "m": 0.25},
                         "average": )" + std::to_string(average) + R"(,
@@ -208,6 +210,98 @@ TEST(DiffReportsTest, NaNDriftIsARegressionNotATolerancePass) {
   EXPECT_FALSE(DiffReports(nan_doc, nan_doc).HasRegression());
 }
 
+/// Convergence block with `points` samples. `objective0` sets the first
+/// sample's objective so a test can inject deterministic drift into a
+/// single point of the curve.
+std::string ConvergenceExtra(std::size_t points, double objective0,
+                             double stopped_early = 0.0) {
+  std::ostringstream out;
+  out << R"("convergence": {"stopped_early": )" << stopped_early
+      << R"(, "samples": [)";
+  for (std::size_t i = 0; i < points; ++i) {
+    if (i > 0) out << ", ";
+    const double objective = i == 0 ? objective0 : 0.5 / double(i + 1);
+    out << R"({"attempts": )" << 100 * (i + 1)
+        << R"(, "objective": )" << objective
+        << R"(, "clustering_global": 0.3, "components": 2, "lcc": 90})";
+  }
+  out << "]},";
+  return out.str();
+}
+
+TEST(DiffReportsTest, MatchingConvergenceCurvesAreClean) {
+  const Json doc = MakeDoc(0.5, 1.0, 0.5, "", R"({"rc": 10})",
+                           ConvergenceExtra(3, 0.9));
+  const DiffResult result = DiffReports(doc, doc);
+  EXPECT_FALSE(result.HasRegression());
+  EXPECT_DOUBLE_EQ(result.max_l1_drift, 0.0);
+}
+
+TEST(DiffReportsTest, NewConvergenceCurveIsANoteNotARegression) {
+  // A baseline recorded before property tracking existed has no
+  // convergence block. Turning tracking on must not fail the gate — the
+  // added curve is informational, exactly like a new cell.
+  const Json old_doc = MakeDoc(0.5, 1.0, 0.5);
+  const Json new_doc = MakeDoc(0.5, 1.0, 0.5, "", R"({"rc": 10})",
+                               ConvergenceExtra(3, 0.9));
+  const DiffResult result = DiffReports(old_doc, new_doc);
+  EXPECT_FALSE(result.HasRegression());
+  bool noted = false;
+  for (const DiffFinding& finding : result.findings) {
+    if (!finding.regression &&
+        finding.message.find("convergence curve is new") !=
+            std::string::npos) {
+      noted = true;
+    }
+  }
+  EXPECT_TRUE(noted);
+}
+
+TEST(DiffReportsTest, LostConvergenceCurveIsARegression) {
+  // The reverse direction is coverage loss: the old report tracked
+  // properties and the new one silently stopped.
+  const Json old_doc = MakeDoc(0.5, 1.0, 0.5, "", R"({"rc": 10})",
+                               ConvergenceExtra(3, 0.9));
+  const Json new_doc = MakeDoc(0.5, 1.0, 0.5);
+  const DiffResult result = DiffReports(old_doc, new_doc);
+  EXPECT_TRUE(result.HasRegression());
+}
+
+TEST(DiffReportsTest, ConvergenceDriftIsCaughtPointwise) {
+  const Json base = MakeDoc(0.5, 1.0, 0.5, "", R"({"rc": 10})",
+                            ConvergenceExtra(3, 0.9));
+  const Json drifted = MakeDoc(0.5, 1.0, 0.5, "", R"({"rc": 10})",
+                               ConvergenceExtra(3, 0.8));
+  const DiffResult result = DiffReports(base, drifted);
+  EXPECT_TRUE(result.HasRegression());
+  bool attributed = false;
+  for (const DiffFinding& finding : result.findings) {
+    if (finding.regression &&
+        finding.message.find("convergence[0] objective") !=
+            std::string::npos) {
+      attributed = true;
+    }
+  }
+  EXPECT_TRUE(attributed);
+  // Within tolerance the same pair is clean.
+  DiffOptions loose;
+  loose.l1_tolerance = 0.5;
+  EXPECT_FALSE(DiffReports(base, drifted, loose).HasRegression());
+}
+
+TEST(DiffReportsTest, ConvergenceLengthAndStopDriftAreRegressions) {
+  const Json base = MakeDoc(0.5, 1.0, 0.5, "", R"({"rc": 10})",
+                            ConvergenceExtra(3, 0.9));
+  // A different sample count cannot be compared point by point.
+  const Json shorter = MakeDoc(0.5, 1.0, 0.5, "", R"({"rc": 10})",
+                               ConvergenceExtra(2, 0.9));
+  EXPECT_TRUE(DiffReports(base, shorter).HasRegression());
+  // The early-stop fraction is deterministic content too.
+  const Json stopped = MakeDoc(0.5, 1.0, 0.5, "", R"({"rc": 10})",
+                               ConvergenceExtra(3, 0.9, 1.0));
+  EXPECT_TRUE(DiffReports(base, stopped).HasRegression());
+}
+
 TEST(DiffReportsTest, MissingMethodIsARegression) {
   const Json old_doc = MakeDoc(0.5, 1.0, 0.5);
   Json new_doc = MakeDoc(0.5, 1.0, 0.5);
@@ -310,6 +404,23 @@ TEST(DiffReportsTest, TwoRunsOfTheSameScenarioDiffClean) {
   EXPECT_EQ(result.cells_compared, 2u);   // the two rc cells
   EXPECT_EQ(result.methods_compared, 4u); // x {rw, proposed}
   EXPECT_DOUBLE_EQ(result.max_l1_drift, 0.0);
+}
+
+TEST(DiffReportsTest, TrackedRunsOfTheSameScenarioDiffClean) {
+  ScenarioSpec spec = TinyDiffSpec();
+  spec.track_properties = true;
+  const Json a = ScenarioReportToJson(RunScenario(spec, 1));
+  const Json b = ScenarioReportToJson(RunScenario(spec, 2));
+  DiffOptions options;
+  options.compare_timings = false;  // thread counts differ on purpose
+  const DiffResult tracked = DiffReports(a, b, options);
+  EXPECT_FALSE(tracked.HasRegression());
+  EXPECT_DOUBLE_EQ(tracked.max_l1_drift, 0.0);
+  // Against an untracked baseline of the same spec the added curve is
+  // only a note: recorded reports keep passing after tracking lands.
+  const Json untracked =
+      ScenarioReportToJson(RunScenario(TinyDiffSpec(), 1));
+  EXPECT_FALSE(DiffReports(untracked, a, options).HasRegression());
 }
 
 TEST(DiffReportsTest, InjectedDriftInARealReportIsCaught) {

@@ -10,6 +10,7 @@
 
 #include "graph/components.h"
 #include "graph/generators.h"
+#include "restore/rewirer.h"
 
 namespace sgr {
 namespace {
@@ -62,7 +63,9 @@ TEST(ScenarioSpecTest, ParsesFullDocument) {
     "snowball_k": 10,
     "forest_fire_pf": 0.5,
     "simplify_output": true,
-    "dataset_scale": 0.5
+    "dataset_scale": 0.5,
+    "track_properties": true,
+    "stop_epsilon": 0.25
   })"));
   EXPECT_EQ(spec.name, "mine");
   ASSERT_EQ(spec.datasets.size(), 2u);
@@ -106,7 +109,12 @@ TEST(ScenarioSpecTest, ParsesFullDocument) {
   EXPECT_DOUBLE_EQ(spec.forest_fire_pf, 0.5);
   EXPECT_TRUE(spec.simplify_output);
   EXPECT_DOUBLE_EQ(spec.dataset_scale, 0.5);
-  // 2 fractions x 2 walks x 2 estimators x 2 rcs x 2 protects.
+  EXPECT_TRUE(spec.track_properties);
+  EXPECT_DOUBLE_EQ(spec.stop_epsilon, 0.25);
+  EXPECT_TRUE(config.restoration.track_properties);
+  EXPECT_DOUBLE_EQ(config.restoration.stop_epsilon, 0.25);
+  // 2 fractions x 2 walks x 2 estimators x 2 rcs x 2 protects
+  // (track_properties / stop_epsilon are scalars, never axes).
   EXPECT_EQ(spec.ExpandKnobs().size(), 32u);
 }
 
@@ -357,6 +365,12 @@ TEST(ScenarioSpecTest, ValidationErrors) {
       R"({"datasets": ["anybeat"], "forest_fire_pf": 1})",
       R"({"datasets": ["anybeat"], "simplify_output": "yes"})",
       R"({"datasets": ["anybeat"], "dataset_scale": -1})",
+      R"({"datasets": ["anybeat"], "track_properties": "yes"})",
+      R"({"datasets": ["anybeat"], "track_properties": true,
+          "stop_epsilon": -0.5})",
+      // The adaptive stop reads the tracked distance: epsilon without
+      // tracking is a contradiction, not a silent no-op.
+      R"({"datasets": ["anybeat"], "stop_epsilon": 0.5})",
       R"({"datasets": ["anybeat"], "surprise": 1})",  // unknown key
       R"([1, 2, 3])",                                 // not an object
   };
@@ -391,6 +405,8 @@ TEST(ScenarioSpecTest, NonFiniteNumbersRejectedForEveryNumericKnob) {
       R"({"datasets": ["anybeat"], "snowball_k": %})",
       R"({"datasets": ["anybeat"], "forest_fire_pf": %})",
       R"({"datasets": ["anybeat"], "dataset_scale": %})",
+      R"({"datasets": ["anybeat"], "track_properties": true,
+          "stop_epsilon": %})",
       R"({"datasets": [{"nodes": %}]})",
       R"({"datasets": [{"edges_per_node": %}]})",
       R"({"datasets": [{"triad_p": %}]})",
@@ -437,6 +453,15 @@ TEST(ScenarioSpecTest, ValidateCatchesProgrammaticallyBuiltBadSpecs) {
   ScenarioSpec nan_scale = valid();
   nan_scale.dataset_scale = std::nan("");
   EXPECT_THROW(nan_scale.Validate(), ScenarioError);
+
+  ScenarioSpec nan_epsilon = valid();
+  nan_epsilon.track_properties = true;
+  nan_epsilon.stop_epsilon = std::nan("");
+  EXPECT_THROW(nan_epsilon.Validate(), ScenarioError);
+
+  ScenarioSpec untracked_epsilon = valid();
+  untracked_epsilon.stop_epsilon = 0.1;  // without track_properties
+  EXPECT_THROW(untracked_epsilon.Validate(), ScenarioError);
 
   ScenarioSpec nan_collision = valid();
   nan_collision.estimators[0].collision_fraction = std::nan("");
@@ -687,6 +712,67 @@ TEST(ScenarioEngineTest,
     }
   }
   EXPECT_TRUE(saw_rounds);
+}
+
+TEST(ScenarioEngineTest,
+     TrackedReportByteIdenticalAcrossRewireThreadCounts) {
+  // track_properties adds the per-round convergence block to the report.
+  // The tracker observes committed swaps only, and those are sequenced
+  // deterministically, so the block — double fields included — must be
+  // byte-identical no matter how many rewire workers score batches.
+  ScenarioSpec spec = TinySpec();
+  spec.rewire_batches = {32};
+  spec.track_properties = true;
+
+  const ScenarioRunResult one =
+      RunScenario(spec, 1, nullptr, /*rewire_threads_override=*/1);
+  const ScenarioRunResult two =
+      RunScenario(spec, 1, nullptr, /*rewire_threads_override=*/2);
+  const ScenarioRunResult eight =
+      RunScenario(spec, 1, nullptr, /*rewire_threads_override=*/8);
+  const std::string a = StripVolatile(ScenarioReportToJson(one)).Dump(2);
+  const std::string b = StripVolatile(ScenarioReportToJson(two)).Dump(2);
+  const std::string c = StripVolatile(ScenarioReportToJson(eight)).Dump(2);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, c);
+  // The convergence curve is deterministic content, not a timing — it
+  // survives the strip, and the knob echoes in the config block.
+  EXPECT_NE(a.find("\"convergence\""), std::string::npos);
+  EXPECT_NE(a.find("\"samples\""), std::string::npos);
+  EXPECT_NE(a.find("\"track_properties\": true"), std::string::npos);
+
+  // Every method that actually rewires carries a full fixed-length
+  // curve; sampling-only methods emit no convergence block at all.
+  const Json report = ScenarioReportToJson(one);
+  bool saw_curve = false;
+  for (const Json& cell : report.Find("cells")->Items()) {
+    for (const Json& method : cell.Find("methods")->Items()) {
+      const Json* convergence = method.Find("convergence");
+      if (convergence == nullptr) continue;
+      saw_curve = true;
+      EXPECT_NE(convergence->Find("stopped_early"), nullptr);
+      const Json* samples = convergence->Find("samples");
+      ASSERT_NE(samples, nullptr);
+      EXPECT_EQ(samples->Size(), kConvergenceSamples);
+      for (const Json& sample : samples->Items()) {
+        for (const char* field : {"attempts", "objective",
+                                  "clustering_global", "components",
+                                  "lcc"}) {
+          EXPECT_NE(sample.Find(field), nullptr) << field;
+        }
+      }
+    }
+  }
+  EXPECT_TRUE(saw_curve);
+
+  // The very same spec with tracking off reproduces the historical
+  // report layout byte for byte: no convergence key anywhere, so
+  // recorded baselines (BENCH_scenarios.json) stay drift-0.
+  spec.track_properties = false;
+  const ScenarioRunResult off =
+      RunScenario(spec, 1, nullptr, /*rewire_threads_override=*/1);
+  const std::string d = StripVolatile(ScenarioReportToJson(off)).Dump(2);
+  EXPECT_EQ(d.find("\"convergence\""), std::string::npos);
 }
 
 /// Downsized ablation-style spec: every new axis active at once on a
