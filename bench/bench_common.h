@@ -20,7 +20,7 @@
 #include "restore/method.h"
 #include "scenario/engine.h"
 #include "scenario/report.h"
-#include "util/timer.h"
+#include "obs/timer.h"
 
 namespace sgr::bench {
 

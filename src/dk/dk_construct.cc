@@ -5,6 +5,8 @@
 #include <string>
 
 #include "exp/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sgr {
 
@@ -167,6 +169,9 @@ Graph ConstructPreservingTargets(
             "ConstructPreservingTargets: JDM-4 violated at (" +
             std::to_string(k) + "," + std::to_string(kp) + ")");
       }
+      if (need == 0) continue;
+      obs::Span pair_span("assemble_pair", "assemble");
+      obs::MetricAdd("assemble.pairs", 1);
       for (std::int64_t c = 0; c < need; ++c) {
         if (state.stubs[k].empty() || state.stubs[kp].empty() ||
             (k == kp && state.stubs[k].size() < 2)) {
@@ -239,6 +244,8 @@ Graph ConstructPreservingTargetsParallel(
   // derived stream against the pre-computed pool-size trajectory —
   // concurrent, each worker writing only its own pair's slots.
   ParallelFor(schedule.size(), threads, [&](std::size_t p) {
+    obs::Span pair_span("assemble_pair", "assemble");
+    obs::MetricAdd("assemble.pairs", 1);
     PairSchedule& pair = schedule[p];
     Rng pair_rng(DeriveRoundSeed(seed, kAssemblyPairStream, p));
     pair.picks.reserve(static_cast<std::size_t>(2 * pair.need));

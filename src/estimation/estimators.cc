@@ -11,6 +11,8 @@
 
 #include "exp/parallel.h"
 #include "graph/csr_graph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sgr {
 
@@ -49,11 +51,13 @@ class ChunkRunner {
                fn) const {
     const std::size_t chunks = NumChunks();
     const auto body = [&](std::size_t c) {
+      obs::Span chunk_span("estimate_chunk", "estimate");
       const std::size_t begin = c * kEstimatorChunkSize;
       const std::size_t end =
           std::min(count_, begin + kEstimatorChunkSize);
       fn(c, begin, end);
     };
+    obs::MetricAdd("estimate.chunks", chunks);
     if (pool_ == nullptr || chunks <= 1) {
       for (std::size_t c = 0; c < chunks; ++c) body(c);
     } else {

@@ -4,6 +4,10 @@
 #include <atomic>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
+
 namespace sgr {
 
 std::size_t ResolveThreadCount(std::size_t requested) {
@@ -43,11 +47,14 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  std::size_t depth = 0;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     queue_.push_back(std::move(task));
     ++in_flight_;
+    depth = queue_.size();
   }
+  obs::MetricMax("pool.queue_peak", depth);
   work_available_.notify_one();
 }
 
@@ -67,7 +74,18 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    // Worker utilization: busy time needs a clock read on both sides of
+    // the task, so it is gated rather than left to MetricAdd's own check.
+    const bool metered = obs::MetricsEnabled();
+    const std::uint64_t begin_us = metered ? obs::SteadyNowMicros() : 0;
+    {
+      obs::Span task_span("task", "pool");
+      task();
+    }
+    if (metered) {
+      obs::MetricAdd("pool.tasks", 1);
+      obs::MetricAdd("pool.busy_us", obs::SteadyNowMicros() - begin_us);
+    }
     {
       std::unique_lock<std::mutex> lock(mutex_);
       if (--in_flight_ == 0) all_done_.notify_all();

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "exp/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "restore/gjoka.h"
 #include "restore/proposed.h"
 #include "restore/subgraph_method.h"
@@ -30,16 +32,20 @@ bool Wants(const ExperimentConfig& config, MethodKind kind) {
 MethodRunResult Evaluate(MethodKind kind, RestorationResult restoration,
                          const GraphProperties& original_properties,
                          const PropertyOptions& property_options,
-                         std::size_t sample_steps) {
+                         std::size_t sample_steps,
+                         std::size_t oracle_queries) {
   MethodRunResult result;
   result.kind = kind;
+  obs::Span evaluate_span("evaluate");
   const GraphProperties generated =
       ComputeProperties(restoration.graph, property_options);
   result.distances = PropertyDistances(original_properties, generated);
   result.average_distance = AverageDistance(result.distances);
   result.sd_distance = DistanceStandardDeviation(result.distances);
+  evaluate_span.End();
   result.restoration = std::move(restoration);
   result.sample_steps = static_cast<double>(sample_steps);
+  result.oracle_queries = oracle_queries;
   return result;
 }
 
@@ -92,6 +98,7 @@ template <typename GraphT>
 std::vector<MethodRunResult> RunExperimentImpl(
     const GraphT& original, const GraphProperties& original_properties,
     const ExperimentConfig& config, std::uint64_t run_seed) {
+  obs::Span trial_span("trial");
   std::vector<MethodRunResult> results;
   Rng rng(run_seed);
   const auto budget = static_cast<std::size_t>(std::max<double>(
@@ -101,29 +108,41 @@ std::vector<MethodRunResult> RunExperimentImpl(
 
   if (Wants(config, MethodKind::kBfs)) {
     QueryOracle oracle(original);
+    obs::Span crawl_span("crawl");
     const SamplingList sample = BfsSample(oracle, seed_node, budget);
+    crawl_span.End();
+    obs::MetricAdd("oracle.queries", oracle.unique_queries());
     const std::size_t steps = sample.Length();
     results.push_back(Evaluate(
         MethodKind::kBfs, RestoreBySubgraphSampling(sample),
-        original_properties, config.property_options, steps));
+        original_properties, config.property_options, steps,
+        oracle.unique_queries()));
   }
   if (Wants(config, MethodKind::kSnowball)) {
     QueryOracle oracle(original);
+    obs::Span crawl_span("crawl");
     const SamplingList sample = SnowballSample(oracle, seed_node, budget,
                                                config.snowball_k, rng);
+    crawl_span.End();
+    obs::MetricAdd("oracle.queries", oracle.unique_queries());
     const std::size_t steps = sample.Length();
     results.push_back(Evaluate(
         MethodKind::kSnowball, RestoreBySubgraphSampling(sample),
-        original_properties, config.property_options, steps));
+        original_properties, config.property_options, steps,
+        oracle.unique_queries()));
   }
   if (Wants(config, MethodKind::kForestFire)) {
     QueryOracle oracle(original);
+    obs::Span crawl_span("crawl");
     const SamplingList sample = ForestFireSample(
         oracle, seed_node, budget, config.forest_fire_pf, rng);
+    crawl_span.End();
+    obs::MetricAdd("oracle.queries", oracle.unique_queries());
     const std::size_t steps = sample.Length();
     results.push_back(Evaluate(
         MethodKind::kForestFire, RestoreBySubgraphSampling(sample),
-        original_properties, config.property_options, steps));
+        original_properties, config.property_options, steps,
+        oracle.unique_queries()));
   }
 
   const bool wants_generative = Wants(config, MethodKind::kGjoka) ||
@@ -136,8 +155,11 @@ std::vector<MethodRunResult> RunExperimentImpl(
     // achieve a fair comparison"). The crawler / walk axes select how it
     // is collected; the default reproduces the paper's simple random walk.
     QueryOracle oracle(original);
+    obs::Span crawl_span("crawl");
     const SamplingList walk =
         SharedSample(oracle, seed_node, budget, config, rng);
+    crawl_span.End();
+    obs::MetricAdd("oracle.queries", oracle.unique_queries());
     if (wants_generative && !walk.is_walk) {
       throw std::invalid_argument(
           "generative methods (gjoka/proposed) require a walk crawler "
@@ -155,17 +177,20 @@ std::vector<MethodRunResult> RunExperimentImpl(
     if (Wants(config, MethodKind::kRandomWalk)) {
       results.push_back(Evaluate(
           MethodKind::kRandomWalk, RestoreBySubgraphSampling(walk),
-          original_properties, config.property_options, walk.Length()));
+          original_properties, config.property_options, walk.Length(),
+          oracle.unique_queries()));
     }
     if (Wants(config, MethodKind::kGjoka)) {
       results.push_back(Evaluate(
           MethodKind::kGjoka, RestoreGjoka(walk, restoration, rng),
-          original_properties, config.property_options, walk.Length()));
+          original_properties, config.property_options, walk.Length(),
+          oracle.unique_queries()));
     }
     if (Wants(config, MethodKind::kProposed)) {
       results.push_back(Evaluate(
           MethodKind::kProposed, RestoreProposed(walk, restoration, rng),
-          original_properties, config.property_options, walk.Length()));
+          original_properties, config.property_options, walk.Length(),
+          oracle.unique_queries()));
     }
   }
   return results;

@@ -100,6 +100,12 @@ struct MethodRunResult {
   /// deterministic function of (config, seed) — reports emit it outside
   /// the "timings" blocks (the walk ablation's query-efficiency metric).
   double sample_steps = 0.0;
+  /// Distinct nodes the crawl queried from the oracle — the method's true
+  /// query cost, ≤ the node budget by the QueryOracle contract and ≤
+  /// sample_steps for revisiting walks. Like sample_steps it is a
+  /// deterministic function of (config, seed), so reports emit it outside
+  /// the volatile blocks.
+  std::size_t oracle_queries = 0;
 };
 
 /// Executes one run: draws a uniformly random seed node, starts BFS,

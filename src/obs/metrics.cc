@@ -1,0 +1,101 @@
+#include "obs/metrics.h"
+
+#include <atomic>
+#include <mutex>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace sgr::obs {
+
+namespace {
+
+struct MetricsState {
+  std::atomic<bool> enabled{false};
+  std::mutex mutex;
+  MetricsSnapshot counters;
+  MetricsSnapshot maxima;
+};
+
+MetricsState& State() {
+  static MetricsState* state = new MetricsState();  // never destroyed
+  return *state;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return State().enabled.load(std::memory_order_relaxed);
+}
+
+void EnableMetrics(bool on) {
+  State().enabled.store(on, std::memory_order_release);
+}
+
+void MetricAdd(const std::string& name, std::uint64_t delta) {
+  if (!MetricsEnabled() || delta == 0) return;
+  MetricsState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.counters[name] += delta;
+}
+
+void MetricMax(const std::string& name, std::uint64_t value) {
+  if (!MetricsEnabled()) return;
+  MetricsState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  std::uint64_t& current = state.maxima[name];
+  if (value > current) current = value;
+}
+
+MetricsSnapshot SnapshotCounters() {
+  MetricsState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.counters;
+}
+
+MetricsSnapshot SnapshotMaxMetrics() {
+  MetricsState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.maxima;
+}
+
+void ResetMaxMetrics() {
+  MetricsState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.maxima.clear();
+}
+
+void ResetMetrics() {
+  MetricsState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.counters.clear();
+  state.maxima.clear();
+}
+
+MetricsSnapshot CounterDelta(const MetricsSnapshot& before,
+                             const MetricsSnapshot& after) {
+  MetricsSnapshot delta;
+  for (const auto& [name, value] : after) {
+    const auto it = before.find(name);
+    const std::uint64_t base = it == before.end() ? 0 : it->second;
+    if (value > base) delta[name] = value - base;
+  }
+  return delta;
+}
+
+std::size_t PeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+}  // namespace sgr::obs

@@ -1,0 +1,70 @@
+#ifndef SGR_OBS_METRICS_H_
+#define SGR_OBS_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace sgr::obs {
+
+/// Named-counter registry of the observability layer.
+///
+/// Two kinds of entries:
+///   * counters — monotonically increasing (MetricAdd). Consumers take a
+///     snapshot before and after a unit of work and report the delta,
+///     which is how the scenario engine attributes counts to one cell
+///     even though the registry is process-global (cells run strictly
+///     sequentially; only trials inside a cell are concurrent).
+///   * high-water gauges — MetricMax keeps the maximum observed value
+///     (pool queue depth). Deltas make no sense for a maximum, so the
+///     engine resets them (ResetMaxMetrics) at each cell boundary.
+///
+/// The engine feeds the registry at coarse aggregation points — once per
+/// crawl, once per restoration, once per chunked estimator pass, once
+/// per pool task — never per inner-loop iteration, so the cost is a
+/// short mutex-guarded map update a few dozen times per trial. When
+/// metrics are disabled every call returns after one relaxed atomic
+/// load. Like tracing, metrics are pure observation: no RNG draws, no
+/// algorithm branches, and the report block they feed is volatile
+/// (StripVolatile removes it), so reports are byte-identical post-strip
+/// with metrics on or off.
+using MetricsSnapshot = std::map<std::string, std::uint64_t>;
+
+/// Whether metric updates are being recorded (one relaxed atomic load).
+bool MetricsEnabled();
+
+/// Turns the registry on or off. Existing values are kept (snapshots
+/// deltas are what consumers report); ResetMetrics clears.
+void EnableMetrics(bool on);
+
+/// Adds `delta` to counter `name`. No-op when disabled.
+void MetricAdd(const std::string& name, std::uint64_t delta);
+
+/// Raises high-water gauge `name` to at least `value`. No-op when
+/// disabled.
+void MetricMax(const std::string& name, std::uint64_t value);
+
+/// Copies of the current counter / gauge tables (sorted by name).
+MetricsSnapshot SnapshotCounters();
+MetricsSnapshot SnapshotMaxMetrics();
+
+/// Zeroes the high-water gauges (cell boundary; see above).
+void ResetMaxMetrics();
+
+/// Drops every counter and gauge (test isolation).
+void ResetMetrics();
+
+/// Counter deltas `after - before` for every counter in `after`
+/// (counters are monotonic, so a key missing from `before` counts from
+/// zero). Zero deltas are omitted — a cell only reports what it touched.
+MetricsSnapshot CounterDelta(const MetricsSnapshot& before,
+                             const MetricsSnapshot& after);
+
+/// Peak resident-set size of this process in bytes (Linux: getrusage
+/// ru_maxhwm; 0 where unsupported). A gauge read at emission time.
+std::size_t PeakRssBytes();
+
+}  // namespace sgr::obs
+
+#endif  // SGR_OBS_METRICS_H_

@@ -1,0 +1,64 @@
+#ifndef SGR_OBS_TIMER_H_
+#define SGR_OBS_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace sgr {
+
+/// Wall-clock stopwatch over the monotonic clock. This is the single
+/// clock source of the observability layer: the report "timings" blocks,
+/// the bench tables, and the trace spans (obs/trace.h reads
+/// obs::SteadyNowMicros below) all derive from std::chrono::steady_clock,
+/// so a span's duration and a report's wall_seconds for the same phase
+/// are directly comparable.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()), lap_(start_) {}
+
+  /// Restarts the stopwatch (and the lap point).
+  void Reset() {
+    start_ = Clock::now();
+    lap_ = start_;
+  }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Seconds elapsed since the last LapSeconds() call (or construction /
+  /// Reset), and advances the lap point. Lets one timer attribute
+  /// consecutive phases — total time stays Seconds() — instead of one
+  /// Timer instance per phase.
+  double LapSeconds() {
+    const Clock::time_point now = Clock::now();
+    const double seconds = std::chrono::duration<double>(now - lap_).count();
+    lap_ = now;
+    return seconds;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+  Clock::time_point lap_;
+};
+
+namespace obs {
+
+/// Monotonic microseconds since an arbitrary process-stable origin (the
+/// first call). Shared timebase of every trace span; same clock as Timer.
+inline std::uint64_t SteadyNowMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point origin = Clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            origin)
+          .count());
+}
+
+}  // namespace obs
+
+}  // namespace sgr
+
+#endif  // SGR_OBS_TIMER_H_

@@ -1,0 +1,154 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+
+#include "obs/timer.h"
+
+namespace sgr::obs {
+
+namespace {
+
+/// Per-thread event buffer. Owned by the global registry (not the
+/// thread), so events survive thread exit — the pool workers of a
+/// finished ParallelFor are gone by flush time, their spans are not.
+struct ThreadBuffer {
+  std::vector<TraceEvent> events;
+  std::uint32_t tid = 0;
+};
+
+struct TraceState {
+  std::atomic<bool> enabled{false};
+  std::atomic<std::uint64_t> epoch_us{0};
+  std::mutex registry_mutex;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+};
+
+TraceState& State() {
+  static TraceState* state = new TraceState();  // never destroyed: spans
+  return *state;                                // may outlive main's statics
+}
+
+ThreadBuffer& LocalBuffer() {
+  thread_local ThreadBuffer* buffer = [] {
+    TraceState& state = State();
+    std::lock_guard<std::mutex> lock(state.registry_mutex);
+    state.buffers.push_back(std::make_unique<ThreadBuffer>());
+    state.buffers.back()->tid =
+        static_cast<std::uint32_t>(state.buffers.size());
+    return state.buffers.back().get();
+  }();
+  return *buffer;
+}
+
+}  // namespace
+
+bool TracingEnabled() {
+  return State().enabled.load(std::memory_order_relaxed);
+}
+
+void StartTracing() {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.registry_mutex);
+  for (auto& buffer : state.buffers) buffer->events.clear();
+  state.epoch_us.store(SteadyNowMicros(), std::memory_order_relaxed);
+  state.enabled.store(true, std::memory_order_release);
+}
+
+void StopTracing() {
+  State().enabled.store(false, std::memory_order_release);
+}
+
+std::vector<TraceEvent> CollectTraceEvents() {
+  TraceState& state = State();
+  // Each event is tagged with its position in its thread's buffer —
+  // recording order, i.e. completion order — to break full timestamp
+  // ties below.
+  std::vector<std::pair<TraceEvent, std::size_t>> tagged;
+  {
+    std::lock_guard<std::mutex> lock(state.registry_mutex);
+    for (const auto& buffer : state.buffers) {
+      for (std::size_t i = 0; i < buffer->events.size(); ++i) {
+        tagged.emplace_back(buffer->events[i], i);
+      }
+    }
+  }
+  // Parents sort before their children: earlier start first; at equal
+  // starts the longer (enclosing) span first; and when spans on one
+  // thread tie completely — nested spans within one clock tick — the
+  // later-recorded one first, because a parent destructs (records) after
+  // its children.
+  std::stable_sort(
+      tagged.begin(), tagged.end(),
+      [](const std::pair<TraceEvent, std::size_t>& a,
+         const std::pair<TraceEvent, std::size_t>& b) {
+        if (a.first.start_us != b.first.start_us) {
+          return a.first.start_us < b.first.start_us;
+        }
+        if (a.first.dur_us != b.first.dur_us) {
+          return a.first.dur_us > b.first.dur_us;
+        }
+        if (a.first.tid == b.first.tid) return a.second > b.second;
+        return false;
+      });
+  std::vector<TraceEvent> merged;
+  merged.reserve(tagged.size());
+  for (auto& [event, pos] : tagged) {
+    (void)pos;
+    merged.push_back(std::move(event));
+  }
+  return merged;
+}
+
+Json TraceToJson() {
+  const std::uint64_t epoch =
+      State().epoch_us.load(std::memory_order_relaxed);
+  Json events = Json::Array();
+  for (const TraceEvent& event : CollectTraceEvents()) {
+    Json entry = Json::Object();
+    entry.Set("name", Json::String(event.name));
+    entry.Set("cat", Json::String(event.category));
+    entry.Set("ph", Json::String("X"));
+    entry.Set("ts", Json::Number(static_cast<double>(
+                        event.start_us >= epoch ? event.start_us - epoch
+                                                : 0)));
+    entry.Set("dur", Json::Number(static_cast<double>(event.dur_us)));
+    entry.Set("pid", Json::Number(1.0));
+    entry.Set("tid", Json::Number(static_cast<double>(event.tid)));
+    events.Push(std::move(entry));
+  }
+  Json trace = Json::Object();
+  trace.Set("displayTimeUnit", Json::String("ms"));
+  trace.Set("traceEvents", std::move(events));
+  return trace;
+}
+
+void WriteTrace(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot open '" + path + "' for writing");
+  }
+  out << TraceToJson().Dump(2) << "\n";
+  if (!out) {
+    throw std::runtime_error("failed writing '" + path + "'");
+  }
+}
+
+std::uint64_t Span::SteadyNowMicrosForTrace() { return SteadyNowMicros(); }
+
+void Span::Record() {
+  const std::uint64_t end_us = SteadyNowMicros();
+  ThreadBuffer& buffer = LocalBuffer();
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.category = category_;
+  event.start_us = start_us_;
+  event.dur_us = end_us >= start_us_ ? end_us - start_us_ : 0;
+  event.tid = buffer.tid;
+  buffer.events.push_back(std::move(event));
+}
+
+}  // namespace sgr::obs

@@ -1,0 +1,162 @@
+#include "obs/trace_summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <ostream>
+#include <stdexcept>
+
+#include "exp/table_printer.h"
+
+namespace sgr::obs {
+
+namespace {
+
+struct ParsedEvent {
+  std::string name;
+  std::string category;
+  double ts = 0.0;   ///< microseconds
+  double dur = 0.0;  ///< microseconds
+  double tid = 0.0;
+  double self = 0.0;  ///< dur minus same-thread child durations
+};
+
+[[noreturn]] void Fail(std::size_t index, const std::string& what) {
+  throw std::runtime_error("trace: traceEvents[" + std::to_string(index) +
+                           "]: " + what);
+}
+
+double RequireFiniteNonNegative(const Json& event, const char* key,
+                                std::size_t index) {
+  const Json* member = event.Find(key);
+  if (member == nullptr || !member->IsNumber()) {
+    Fail(index, std::string("missing numeric '") + key + "'");
+  }
+  const double value = member->AsNumber();
+  if (!std::isfinite(value) || value < 0.0) {
+    Fail(index, std::string("'") + key + "' must be finite and >= 0");
+  }
+  return value;
+}
+
+std::string RequireString(const Json& event, const char* key,
+                          std::size_t index) {
+  const Json* member = event.Find(key);
+  if (member == nullptr || !member->IsString()) {
+    Fail(index, std::string("missing string '") + key + "'");
+  }
+  return member->AsString();
+}
+
+std::vector<ParsedEvent> ParseEvents(const Json& trace) {
+  if (!trace.IsObject()) {
+    throw std::runtime_error("trace: document must be a JSON object");
+  }
+  const Json* events = trace.Find("traceEvents");
+  if (events == nullptr || !events->IsArray()) {
+    throw std::runtime_error("trace: missing 'traceEvents' array");
+  }
+  std::vector<ParsedEvent> parsed;
+  parsed.reserve(events->Items().size());
+  std::size_t index = 0;
+  for (const Json& event : events->Items()) {
+    if (!event.IsObject()) Fail(index, "must be an object");
+    const std::string ph = RequireString(event, "ph", index);
+    if (ph != "X") {
+      Fail(index, "unsupported phase '" + ph +
+                      "' (this writer emits complete events only)");
+    }
+    ParsedEvent out;
+    out.name = RequireString(event, "name", index);
+    out.category = RequireString(event, "cat", index);
+    out.ts = RequireFiniteNonNegative(event, "ts", index);
+    out.dur = RequireFiniteNonNegative(event, "dur", index);
+    (void)RequireFiniteNonNegative(event, "pid", index);
+    out.tid = RequireFiniteNonNegative(event, "tid", index);
+    out.self = out.dur;
+    parsed.push_back(std::move(out));
+    ++index;
+  }
+  return parsed;
+}
+
+/// Subtracts same-thread child durations from each event's self time.
+/// Nesting is interval containment per tid: after sorting by (ts asc,
+/// dur desc), a stack of open intervals identifies each event's
+/// innermost enclosing parent.
+void AttributeSelfTime(std::vector<ParsedEvent>& events) {
+  std::map<double, std::vector<ParsedEvent*>> by_tid;
+  for (ParsedEvent& event : events) {
+    by_tid[event.tid].push_back(&event);
+  }
+  for (auto& [tid, thread_events] : by_tid) {
+    (void)tid;
+    std::stable_sort(thread_events.begin(), thread_events.end(),
+                     [](const ParsedEvent* a, const ParsedEvent* b) {
+                       if (a->ts != b->ts) return a->ts < b->ts;
+                       return a->dur > b->dur;
+                     });
+    std::vector<ParsedEvent*> open;
+    for (ParsedEvent* event : thread_events) {
+      while (!open.empty() &&
+             open.back()->ts + open.back()->dur <= event->ts) {
+        open.pop_back();
+      }
+      if (!open.empty()) open.back()->self -= event->dur;
+      open.push_back(event);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<PhaseSummary> SummarizeTrace(const Json& trace) {
+  std::vector<ParsedEvent> events = ParseEvents(trace);
+  AttributeSelfTime(events);
+
+  std::map<std::string, PhaseSummary> by_name;
+  for (const ParsedEvent& event : events) {
+    PhaseSummary& summary = by_name[event.name];
+    if (summary.count == 0) {
+      summary.name = event.name;
+      summary.category = event.category;
+    }
+    ++summary.count;
+    summary.total_ms += event.dur / 1000.0;
+    summary.self_ms += event.self / 1000.0;
+  }
+
+  std::vector<PhaseSummary> result;
+  result.reserve(by_name.size());
+  for (auto& [name, summary] : by_name) {
+    (void)name;
+    result.push_back(std::move(summary));
+  }
+  std::stable_sort(result.begin(), result.end(),
+                   [](const PhaseSummary& a, const PhaseSummary& b) {
+                     return a.total_ms > b.total_ms;
+                   });
+  return result;
+}
+
+void PrintTraceSummary(const std::vector<PhaseSummary>& summary,
+                       std::ostream& out) {
+  double self_total_ms = 0.0;
+  for (const PhaseSummary& phase : summary) self_total_ms += phase.self_ms;
+
+  TablePrinter table(out, {"Span", "Category", "Count", "Total ms",
+                           "Self ms", "Self %"});
+  for (const PhaseSummary& phase : summary) {
+    const double share =
+        self_total_ms > 0.0 ? 100.0 * phase.self_ms / self_total_ms : 0.0;
+    table.AddRow({phase.name, phase.category, std::to_string(phase.count),
+                  TablePrinter::Fixed(phase.total_ms, 3),
+                  TablePrinter::Fixed(phase.self_ms, 3),
+                  TablePrinter::Fixed(share, 1)});
+  }
+  table.Print();
+  out << summary.size() << " span name(s), " << self_total_ms
+      << " ms total self time\n";
+}
+
+}  // namespace sgr::obs

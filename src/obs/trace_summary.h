@@ -1,0 +1,44 @@
+#ifndef SGR_OBS_TRACE_SUMMARY_H_
+#define SGR_OBS_TRACE_SUMMARY_H_
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/json.h"
+
+namespace sgr::obs {
+
+/// Per-span-name aggregate of one trace file: how often the phase ran,
+/// its total (inclusive) time, and its self time — total minus the time
+/// spent inside child spans on the same thread. Self time is what "where
+/// did the time go" actually asks: a cell span's total covers everything
+/// under it, its self time only the aggregation glue.
+struct PhaseSummary {
+  std::string name;
+  std::string category;
+  std::size_t count = 0;
+  double total_ms = 0.0;
+  double self_ms = 0.0;
+};
+
+/// Validates `trace` as a Chrome trace_event document (strictly: a
+/// top-level object whose "traceEvents" member is an array of complete
+/// events, each with string "name"/"cat", "ph" == "X", and finite
+/// non-negative numeric "ts"/"dur"/"pid"/"tid") and aggregates it into
+/// per-name summaries sorted by descending total time. Nesting is
+/// derived per thread from interval containment, so merged multi-thread
+/// traces attribute self time correctly. Throws std::runtime_error
+/// naming the offending event on any schema violation — `sgr trace
+/// summarize` doubles as the CI trace validator.
+std::vector<PhaseSummary> SummarizeTrace(const Json& trace);
+
+/// Renders the summary as the `sgr trace summarize` table
+/// (name, category, count, total ms, self ms, self share).
+void PrintTraceSummary(const std::vector<PhaseSummary>& summary,
+                       std::ostream& out);
+
+}  // namespace sgr::obs
+
+#endif  // SGR_OBS_TRACE_SUMMARY_H_

@@ -2,11 +2,12 @@
 
 #include "dk/dk_construct.h"
 #include "estimation/estimators.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
 #include "restore/simplify.h"
 #include "restore/target_degree_vector.h"
 #include "restore/target_jdm.h"
 #include "sampling/subgraph.h"
-#include "util/timer.h"
 
 namespace sgr {
 
@@ -15,6 +16,7 @@ RestorationResult RestoreGjoka(const SamplingList& list,
   Timer total;
   RestorationResult result;
 
+  obs::Span estimate_span("estimate");
   result.estimates = EstimateLocalProperties(list, options.estimator);
   {
     // Subgraph sizes recorded for diagnostics only; the method itself never
@@ -24,11 +26,16 @@ RestorationResult RestoreGjoka(const SamplingList& list,
     result.subgraph_nodes = sub.graph.NumNodes();
     result.subgraph_edges = sub.graph.NumEdges();
   }
+  estimate_span.End();
 
+  obs::Span extract_span("dk_extract");
   TargetDegreeVectorResult targets =
       BuildTargetDegreeVectorFromEstimates(result.estimates);
   const JointDegreeMatrix m_star =
       BuildTargetJdmFromEstimates(result.estimates, targets.n_star, rng);
+  extract_span.End();
+
+  obs::Span assemble_span("assemble");
   if (options.parallel_assembly.enabled) {
     result.graph = Construct2kGraphParallel(
         targets.n_star, m_star, rng.engine()(),
@@ -36,11 +43,13 @@ RestorationResult RestoreGjoka(const SamplingList& list,
   } else {
     result.graph = Construct2kGraph(targets.n_star, m_star, rng);
   }
+  assemble_span.End();
 
   RewireOptions rewire_options = options.rewire;
   rewire_options.track_properties = options.track_properties;
   rewire_options.stop_epsilon = options.stop_epsilon;
-  Timer rewiring;
+  obs::Span rewire_span("rewire");
+  total.LapSeconds();  // open the rewiring lap
   if (options.parallel_rewire.batch_size > 0) {
     result.rewire_stats = RewireToClusteringParallel(
         result.graph, /*num_protected_edges=*/0,
@@ -51,7 +60,8 @@ RestorationResult RestoreGjoka(const SamplingList& list,
         result.graph, /*num_protected_edges=*/0,
         result.estimates.clustering, rewire_options, rng);
   }
-  result.rewiring_seconds = rewiring.Seconds();
+  result.rewiring_seconds = total.LapSeconds();
+  rewire_span.End();
 
   if (options.simplify_output) {
     SimplifyByRewiring(result.graph, /*num_protected_edges=*/0, rng,

@@ -2,12 +2,13 @@
 
 #include "dk/dk_construct.h"
 #include "estimation/estimators.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
 #include "restore/assembler.h"
 #include "restore/simplify.h"
 #include "restore/target_degree_vector.h"
 #include "restore/target_jdm.h"
 #include "sampling/subgraph.h"
-#include "util/timer.h"
 
 namespace sgr {
 
@@ -18,13 +19,16 @@ RestorationResult RestoreProposed(const SamplingList& list,
   RestorationResult result;
 
   // Preliminary phase: subgraph + re-weighted estimates.
+  obs::Span estimate_span("estimate");
   const Subgraph sub = BuildSubgraph(list);
   result.estimates = EstimateLocalProperties(list, options.estimator);
   result.subgraph_queried = sub.NumQueried();
   result.subgraph_nodes = sub.graph.NumNodes();
   result.subgraph_edges = sub.graph.NumEdges();
+  estimate_span.End();
 
   // First phase: target degree vector + per-node target degrees.
+  obs::Span extract_span("dk_extract");
   TargetDegreeVectorResult targets =
       BuildTargetDegreeVector(sub, result.estimates, rng);
 
@@ -33,11 +37,13 @@ RestorationResult RestoreProposed(const SamplingList& list,
       SubgraphClassEdges(sub.graph, targets.subgraph_target_degrees);
   const JointDegreeMatrix m_star =
       BuildTargetJdm(result.estimates, targets.n_star, m_prime, rng);
+  extract_span.End();
 
   // Third phase: extend the subgraph to realize both targets. The
   // parallel engine takes one engine draw as its seed (like the batched
   // rewirer below), so the sequential path's RNG stream is untouched
   // when it is off.
+  obs::Span assemble_span("assemble");
   if (options.parallel_assembly.enabled) {
     result.graph = AssembleFromSubgraphParallel(
         sub, targets, targets.n_star, m_star, rng.engine()(),
@@ -46,6 +52,7 @@ RestorationResult RestoreProposed(const SamplingList& list,
     result.graph =
         AssembleFromSubgraph(sub, targets, targets.n_star, m_star, rng);
   }
+  assemble_span.End();
 
   // Fourth phase: rewire non-subgraph edges toward ĉ̄(k). Protecting the
   // first |E'| edge ids (the subgraph edges copied first by Algorithm 5)
@@ -59,7 +66,8 @@ RestorationResult RestoreProposed(const SamplingList& list,
   RewireOptions rewire_options = options.rewire;
   rewire_options.track_properties = options.track_properties;
   rewire_options.stop_epsilon = options.stop_epsilon;
-  Timer rewiring;
+  obs::Span rewire_span("rewire");
+  total.LapSeconds();  // open the rewiring lap
   if (options.parallel_rewire.batch_size > 0) {
     result.rewire_stats = RewireToClusteringParallel(
         result.graph, protected_edges, result.estimates.clustering,
@@ -69,7 +77,8 @@ RestorationResult RestoreProposed(const SamplingList& list,
         RewireToClustering(result.graph, protected_edges,
                            result.estimates.clustering, rewire_options, rng);
   }
-  result.rewiring_seconds = rewiring.Seconds();
+  result.rewiring_seconds = total.LapSeconds();
+  rewire_span.End();
 
   if (options.simplify_output) {
     SimplifyByRewiring(result.graph, protected_edges, rng,

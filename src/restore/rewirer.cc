@@ -10,6 +10,8 @@
 #include "analysis/property_tracker.h"
 #include "dk/triangle_tracker.h"
 #include "exp/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace sgr {
 
@@ -125,6 +127,23 @@ void PadCurve(RewireStats& stats, std::size_t attempts_done,
   }
 }
 
+/// Feeds the metrics registry once per rewiring run — never per attempt.
+/// The round counters are zero on the sequential path, so only the
+/// batched engine reports them; tracker.delta_ops counts the incremental
+/// tracker updates a tracked run performed (one per accepted swap).
+void RecordRewireMetrics(const RewireStats& stats) {
+  if (!obs::MetricsEnabled()) return;
+  obs::MetricAdd("rewire.attempts", stats.attempts);
+  obs::MetricAdd("rewire.accepted", stats.accepted);
+  obs::MetricAdd("rewire.rounds", stats.rounds);
+  obs::MetricAdd("rewire.evaluated", stats.evaluated);
+  obs::MetricAdd("rewire.conflicts", stats.conflicts);
+  obs::MetricAdd("rewire.reevaluated", stats.reevaluated);
+  if (!stats.curve.empty()) {
+    obs::MetricAdd("tracker.delta_ops", stats.accepted);
+  }
+}
+
 }  // namespace
 
 RewireStats RewireToClustering(Graph& g, std::size_t num_protected_edges,
@@ -205,6 +224,7 @@ RewireStats RewireToClustering(Graph& g, std::size_t num_protected_edges,
   if (tracking) PadCurve(stats, attempts_done, current, *props);
   tracker.RecomputeObjective();
   stats.final_distance = tracker.Objective();
+  RecordRewireMetrics(stats);
   return stats;
 }
 
@@ -266,6 +286,7 @@ RewireStats RewireToClusteringParallel(
     stats.attempts = 0;
   }
   while (!stopped && attempts_done < total_attempts) {
+    obs::Span round_span("rewire_round", "rewire");
     ++round;
     ++stats.rounds;
     const std::size_t this_batch =
@@ -378,6 +399,7 @@ RewireStats RewireToClusteringParallel(
   if (tracking) PadCurve(stats, attempts_done, tracker.Objective(), *props);
   tracker.RecomputeObjective();
   stats.final_distance = tracker.Objective();
+  RecordRewireMetrics(stats);
   return stats;
 }
 

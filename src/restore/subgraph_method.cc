@@ -1,7 +1,7 @@
 #include "restore/subgraph_method.h"
 
 #include "sampling/subgraph.h"
-#include "util/timer.h"
+#include "obs/timer.h"
 
 namespace sgr {
 

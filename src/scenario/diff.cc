@@ -272,6 +272,17 @@ struct Comparator {
             std::max(1.0, std::abs(old_steps->AsNumber())));
       }
 
+      // oracle_queries follows the sample_steps convention (deterministic,
+      // count-scaled); pre-observability reports lack the field.
+      const Json* old_queries = old_method.Find("oracle_queries");
+      const Json* new_queries = new_method.Find("oracle_queries");
+      if (old_queries != nullptr && new_queries != nullptr) {
+        CompareDeterministic(
+            where + " oracle_queries", old_queries->AsNumber(),
+            new_queries->AsNumber(),
+            std::max(1.0, std::abs(old_queries->AsNumber())));
+      }
+
       CompareConvergence(where, old_method.Find("convergence"),
                          new_method.Find("convergence"));
 

@@ -4,7 +4,9 @@
 
 #include "exp/datasets.h"
 #include "exp/parallel.h"
-#include "util/timer.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "obs/trace.h"
 
 namespace sgr {
 
@@ -43,11 +45,37 @@ ScenarioCell RunScenarioCell(const std::string& dataset_name,
   cell.seed_base = seed_base;
   cell.trials = trials;
 
+  // Counters are attributed to this cell by snapshot delta: cells run
+  // strictly sequentially (only trials inside one are concurrent), so
+  // whatever the registry gained between the two snapshots is this
+  // cell's. High-water gauges can't be differenced, so they reset here,
+  // at the cell boundary.
+  const bool metered = obs::MetricsEnabled();
+  obs::MetricsSnapshot counters_before;
+  if (metered) {
+    obs::ResetMaxMetrics();
+    counters_before = obs::SnapshotCounters();
+  }
+
+  obs::Span cell_span("cell");
   Timer timer;
   const auto all_trials =
       RunExperiments(dataset, properties, config, seed_base, trials,
                      threads);
   cell.wall_seconds = timer.Seconds();
+  cell_span.End();
+
+  if (metered) {
+    for (const auto& [name, delta] :
+         obs::CounterDelta(counters_before, obs::SnapshotCounters())) {
+      cell.metrics[name] = static_cast<double>(delta);
+    }
+    for (const auto& [name, value] : obs::SnapshotMaxMetrics()) {
+      cell.metrics[name] = static_cast<double>(value);
+    }
+    cell.metrics["peak_rss_bytes"] =
+        static_cast<double>(obs::PeakRssBytes());
+  }
 
   // Trials come back indexed by trial number, so this reduction order —
   // and therefore every accumulated double — is thread-count independent.
@@ -58,6 +86,7 @@ ScenarioCell RunScenarioCell(const std::string& dataset_name,
       aggregate.total_seconds += r.restoration.total_seconds;
       aggregate.rewiring_seconds += r.restoration.rewiring_seconds;
       aggregate.sample_steps += r.sample_steps;
+      aggregate.oracle_queries += static_cast<double>(r.oracle_queries);
       const RewireStats& rw = r.restoration.rewire_stats;
       aggregate.rewire.attempts += static_cast<double>(rw.attempts);
       aggregate.rewire.accepted += static_cast<double>(rw.accepted);
@@ -90,6 +119,7 @@ ScenarioCell RunScenarioCell(const std::string& dataset_name,
     aggregate.total_seconds *= inv;
     aggregate.rewiring_seconds *= inv;
     aggregate.sample_steps *= inv;
+    aggregate.oracle_queries *= inv;
     aggregate.rewire.attempts *= inv;
     aggregate.rewire.accepted *= inv;
     aggregate.rewire.rounds *= inv;

@@ -77,6 +77,7 @@ Json ScenarioCellToJson(const ScenarioCell& cell) {
     Json entry = Json::Object();
     entry.Set("method", Json::String(MethodName(kind)));
     entry.Set("sample_steps", Json::Number(aggregate.sample_steps));
+    entry.Set("oracle_queries", Json::Number(aggregate.oracle_queries));
     Json per_property = Json::Object();
     for (std::size_t i = 0; i < kNumProperties; ++i) {
       per_property.Set(PropertyNames()[i],
@@ -129,6 +130,17 @@ Json ScenarioCellToJson(const ScenarioCell& cell) {
   }
   json.Set("methods", std::move(methods));
 
+  if (!cell.metrics.empty()) {
+    // Volatile by the same rule as "timings": present only when metrics
+    // were captured, removed by StripVolatile, so metrics-off reports
+    // keep their exact historical byte layout.
+    Json metrics = Json::Object();
+    for (const auto& [name, value] : cell.metrics) {
+      metrics.Set(name, Json::Number(value));
+    }
+    json.Set("metrics", std::move(metrics));
+  }
+
   Json timings = Json::Object();
   timings.Set("wall_seconds", Json::Number(cell.wall_seconds));
   json.Set("timings", std::move(timings));
@@ -153,7 +165,7 @@ Json StripVolatileImpl(const Json& value, bool top_level) {
     case Json::Kind::kObject: {
       Json out = Json::Object();
       for (const auto& [key, member] : value.ObjectMembers()) {
-        if (key == "timings") continue;
+        if (key == "timings" || key == "metrics") continue;
         if (top_level && key == "environment") continue;
         out.Set(key, StripVolatileImpl(member, /*top_level=*/false));
       }

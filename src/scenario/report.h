@@ -54,6 +54,9 @@ struct MethodAggregate {
   double sample_steps = 0.0;      ///< mean sampling-list length per trial
                                   ///  (deterministic: emitted outside
                                   ///  "timings")
+  double oracle_queries = 0.0;    ///< mean distinct queried nodes per
+                                  ///  trial — the crawl's true query cost
+                                  ///  (deterministic, like sample_steps)
   RewireAggregate rewire;         ///< mean rewiring stats per trial
   std::vector<ConvergencePoint> convergence;  ///< mean tracker curve per
                                               ///  trial (empty when
@@ -86,6 +89,11 @@ struct ScenarioCell {
   std::size_t trials = 0;
   double wall_seconds = 0.0;  ///< whole trial matrix of this cell
   std::map<MethodKind, MethodAggregate> methods;
+  /// Counter deltas and high-water gauges the obs registry attributed to
+  /// this cell (empty when metrics are off). Values depend on thread
+  /// counts and scheduling, so the block is volatile: it is emitted under
+  /// the cell's "metrics" key and removed by StripVolatile.
+  std::map<std::string, double> metrics;
 };
 
 /// Execution environment recorded in every report. Everything here is
@@ -121,6 +129,7 @@ Json EnvironmentToJson(const RunEnvironment& environment);
 ///    "rewire_batch": ..., "frontier_walkers": ...,
 ///    "seed_base": ..., "trials": ...,
 ///    "methods": [{"method": "Proposed", "sample_steps": ...,
+///                 "oracle_queries": ...,
 ///                 "distances": {"per_property": {"n": ..., ...12...},
 ///                               "average": ..., "sd": ...},
 ///                 "rewire": {"attempts": ..., "accepted": ...,
@@ -130,10 +139,12 @@ Json EnvironmentToJson(const RunEnvironment& environment);
 ///                            "final_distance": ...},
 ///                 "timings": {"restore_seconds": ...,
 ///                             "rewiring_seconds": ...}}, ...],
+///    "metrics": {...},  // only when the cell captured any
 ///    "timings": {"wall_seconds": ...}}
 /// All timing data sits under "timings" keys so StripVolatile can remove
-/// it mechanically; the "rewire" block is deterministic content and
-/// survives the strip (the subgraph-sampling methods report all zeros).
+/// it mechanically, and the "metrics" block is likewise volatile; the
+/// "rewire" block is deterministic content and survives the strip (the
+/// subgraph-sampling methods report all zeros).
 Json ScenarioCellToJson(const ScenarioCell& cell);
 
 /// Assembles the top-level report document shared by `sgr run` and the
@@ -144,10 +155,11 @@ Json MakeReport(const std::string& tool, Json config_echo, Json cells,
                 const RunEnvironment& environment);
 
 /// Returns a copy of `document` with the volatile content removed: the
-/// top-level "environment" object and every "timings" member anywhere in
-/// the tree. What remains is a pure function of (spec, seed), so two runs
-/// of the same scenario — at any thread count — dump to identical bytes.
-/// This is the engine's determinism contract, and what the tests diff.
+/// top-level "environment" object and every "timings" and "metrics"
+/// member anywhere in the tree. What remains is a pure function of
+/// (spec, seed), so two runs of the same scenario — at any thread count,
+/// with observability on or off — dump to identical bytes. This is the
+/// engine's determinism contract, and what the tests diff.
 Json StripVolatile(const Json& document);
 
 /// Writes `Dump(2)` plus a trailing newline to `path`; throws

@@ -1,0 +1,122 @@
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_summary.h"
+#include "scenario/engine.h"
+#include "scenario/report.h"
+#include "scenario/spec.h"
+
+namespace sgr {
+namespace {
+
+/// Same hermetic CI-sized scenario the engine tests use: generator
+/// dataset, tiny graphs, all six methods, two fractions x two trials.
+ScenarioSpec TinySpec() {
+  return ScenarioSpec::FromJson(Json::Parse(R"({
+    "name": "tiny",
+    "datasets": [{"name": "tiny-powerlaw", "model": "powerlaw",
+                  "nodes": 150, "edges_per_node": 3, "triad_p": 0.4,
+                  "seed": 11}],
+    "fractions": [0.1, 0.2],
+    "trials": 2,
+    "seed_base": 1234,
+    "rc": 5,
+    "path_sources": 20
+  })"));
+}
+
+/// Observability state is process-global; leave both subsystems off.
+class ObsIntegrationTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    obs::StopTracing();
+    obs::EnableMetrics(false);
+    obs::ResetMetrics();
+  }
+};
+
+TEST_F(ObsIntegrationTest, MetricsBlockIsVolatileAndPureObservation) {
+  const ScenarioSpec spec = TinySpec();
+  const Json off = ScenarioReportToJson(RunScenario(spec, 2));
+
+  obs::ResetMetrics();
+  obs::EnableMetrics(true);
+  const Json on = ScenarioReportToJson(RunScenario(spec, 2));
+  obs::EnableMetrics(false);
+
+  // The raw reports differ exactly by the per-cell "metrics" blocks.
+  for (const Json& cell : off.Find("cells")->Items()) {
+    EXPECT_EQ(cell.Find("metrics"), nullptr);
+  }
+  for (const Json& cell : on.Find("cells")->Items()) {
+    const Json* metrics = cell.Find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    // Every cell crawls and rewires, on every platform this CI runs on.
+    EXPECT_GT(metrics->Find("oracle.queries")->AsNumber(), 0.0);
+    EXPECT_GT(metrics->Find("rewire.attempts")->AsNumber(), 0.0);
+    EXPECT_GT(metrics->Find("peak_rss_bytes")->AsNumber(), 0.0);
+  }
+
+  // Metrics are pure observation: post-strip bytes are identical.
+  EXPECT_EQ(StripVolatile(off).Dump(2), StripVolatile(on).Dump(2));
+}
+
+TEST_F(ObsIntegrationTest, TraceCoversThePipelineAndPerturbsNothing) {
+  const ScenarioSpec spec = TinySpec();
+  const Json off = ScenarioReportToJson(RunScenario(spec, 2));
+
+  obs::StartTracing();
+  const Json on = ScenarioReportToJson(RunScenario(spec, 2));
+  obs::StopTracing();
+
+  // The acceptance contract: one trace of one scenario run covers every
+  // pipeline phase.
+  std::set<std::string> names;
+  for (const obs::TraceEvent& event : obs::CollectTraceEvents()) {
+    names.insert(event.name);
+  }
+  for (const char* phase :
+       {"crawl", "estimate", "dk_extract", "assemble", "rewire", "trial",
+        "cell", "evaluate"}) {
+    EXPECT_TRUE(names.count(phase)) << "no '" << phase << "' span recorded";
+  }
+
+  // The recorded trace round-trips through the strict validator.
+  const auto summary = obs::SummarizeTrace(obs::TraceToJson());
+  EXPECT_GE(summary.size(), 8u);
+
+  // Tracing is pure observation: post-strip bytes are identical.
+  EXPECT_EQ(StripVolatile(off).Dump(2), StripVolatile(on).Dump(2));
+}
+
+TEST_F(ObsIntegrationTest, OracleQueriesAreReportedAndDeterministic) {
+  const ScenarioSpec spec = TinySpec();
+  const Json first = ScenarioReportToJson(RunScenario(spec, 1));
+  const Json second = ScenarioReportToJson(RunScenario(spec, 4));
+  for (const Json& cell : first.Find("cells")->Items()) {
+    const double budget =
+        cell.Find("query_fraction")->AsNumber() *
+        cell.Find("nodes")->AsNumber();
+    for (const Json& method : cell.Find("methods")->Items()) {
+      const Json* queries = method.Find("oracle_queries");
+      ASSERT_NE(queries, nullptr);
+      EXPECT_GT(queries->AsNumber(), 0.0);
+      EXPECT_LE(queries->AsNumber(), budget);
+      // The crawl cost sits next to sample_steps and never exceeds it.
+      EXPECT_LE(queries->AsNumber(),
+                method.Find("sample_steps")->AsNumber());
+    }
+  }
+  // Deterministic content: it survives the strip and matches across
+  // thread counts, byte for byte.
+  const std::string a = StripVolatile(first).Dump(2);
+  EXPECT_NE(a.find("oracle_queries"), std::string::npos);
+  EXPECT_EQ(a, StripVolatile(second).Dump(2));
+}
+
+}  // namespace
+}  // namespace sgr

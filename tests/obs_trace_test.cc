@@ -1,0 +1,291 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/timer.h"
+#include "obs/trace_summary.h"
+
+namespace sgr {
+namespace {
+
+/// Tracing state is process-global; every test brackets its own
+/// recording and leaves the tracer stopped.
+class ObsTraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override { obs::StopTracing(); }
+};
+
+TEST_F(ObsTraceTest, DisabledByDefaultAndSpansAreDropped) {
+  ASSERT_FALSE(obs::TracingEnabled());
+  { obs::Span span("ignored"); }
+  // Nothing recorded, and whatever an earlier run left behind is cleared
+  // by the next StartTracing — exercised below.
+}
+
+TEST_F(ObsTraceTest, RecordsNestedSpansInParentFirstOrder) {
+  obs::StartTracing();
+  {
+    obs::Span outer("outer");
+    { obs::Span inner("inner"); }
+    { obs::Span inner2("inner2"); }
+  }
+  obs::StopTracing();
+  const std::vector<obs::TraceEvent> events = obs::CollectTraceEvents();
+  ASSERT_EQ(events.size(), 3u);
+  // The enclosing span sorts first; its children follow. Sibling order
+  // within one clock tick is ambiguous, so only the set is asserted.
+  EXPECT_EQ(events[0].name, "outer");
+  const std::set<std::string> children{events[1].name, events[2].name};
+  EXPECT_EQ(children, (std::set<std::string>{"inner", "inner2"}));
+  // Containment holds on the recorded timestamps.
+  EXPECT_LE(events[0].start_us, events[1].start_us);
+  EXPECT_LE(events[1].start_us + events[1].dur_us,
+            events[0].start_us + events[0].dur_us);
+  // All on the recording (main) thread.
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  EXPECT_EQ(events[1].tid, events[2].tid);
+}
+
+TEST_F(ObsTraceTest, EndRecordsEarlyAndMakesTheDestructorANoOp) {
+  obs::StartTracing();
+  {
+    obs::Span span("phase");
+    span.End();
+    span.End();  // idempotent
+  }
+  obs::StopTracing();
+  EXPECT_EQ(obs::CollectTraceEvents().size(), 1u);
+}
+
+TEST_F(ObsTraceTest, StartTracingClearsPreviousEvents) {
+  obs::StartTracing();
+  { obs::Span span("first-run"); }
+  obs::StopTracing();
+  ASSERT_EQ(obs::CollectTraceEvents().size(), 1u);
+
+  obs::StartTracing();
+  obs::StopTracing();
+  EXPECT_TRUE(obs::CollectTraceEvents().empty());
+}
+
+class ObsTraceThreadTest : public ObsTraceTest,
+                           public ::testing::WithParamInterface<std::size_t> {
+};
+
+TEST_P(ObsTraceThreadTest, MergesPerThreadBuffersWithDistinctTids) {
+  const std::size_t num_threads = GetParam();
+  constexpr std::size_t kSpansPerThread = 50;
+  obs::StartTracing();
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    threads.emplace_back([t] {
+      for (std::size_t i = 0; i < kSpansPerThread; ++i) {
+        obs::Span span("worker-" + std::to_string(t));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  obs::StopTracing();
+
+  const std::vector<obs::TraceEvent> events = obs::CollectTraceEvents();
+  ASSERT_EQ(events.size(), num_threads * kSpansPerThread);
+  std::set<std::uint32_t> tids;
+  for (const obs::TraceEvent& event : events) tids.insert(event.tid);
+  // Concurrently-live threads never share a buffer, so the merged trace
+  // carries exactly one tid per worker.
+  EXPECT_EQ(tids.size(), num_threads);
+  // The merge is globally sorted by start time.
+  EXPECT_TRUE(std::is_sorted(events.begin(), events.end(),
+                             [](const obs::TraceEvent& a,
+                                const obs::TraceEvent& b) {
+                               return a.start_us < b.start_us;
+                             }));
+  for (std::size_t t = 0; t < num_threads; ++t) {
+    const std::string name = "worker-" + std::to_string(t);
+    EXPECT_EQ(static_cast<std::size_t>(
+                  std::count_if(events.begin(), events.end(),
+                                [&](const obs::TraceEvent& e) {
+                                  return e.name == name;
+                                })),
+              kSpansPerThread);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ObsTraceThreadTest,
+                         ::testing::Values(1, 2, 8));
+
+TEST_F(ObsTraceTest, TraceJsonIsValidChromeTraceEventFormat) {
+  obs::StartTracing();
+  {
+    obs::Span outer("outer");
+    obs::Span inner("inner", "pool");
+  }
+  obs::StopTracing();
+  const Json trace = obs::TraceToJson();
+
+  EXPECT_EQ(trace.Find("displayTimeUnit")->AsString(), "ms");
+  const Json* events = trace.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->Items().size(), 2u);
+  for (const Json& event : events->Items()) {
+    EXPECT_EQ(event.Find("ph")->AsString(), "X");
+    EXPECT_DOUBLE_EQ(event.Find("pid")->AsNumber(), 1.0);
+    EXPECT_GE(event.Find("ts")->AsNumber(), 0.0);
+    EXPECT_GE(event.Find("dur")->AsNumber(), 0.0);
+  }
+  // The strict summarizer accepts our own writer's output — the CI gate.
+  const auto summary = obs::SummarizeTrace(trace);
+  ASSERT_EQ(summary.size(), 2u);
+  std::set<std::string> names;
+  for (const auto& phase : summary) names.insert(phase.name);
+  EXPECT_EQ(names, (std::set<std::string>{"outer", "inner"}));
+}
+
+Json MakeEvent(const std::string& name, double ts, double dur, double tid) {
+  Json event = Json::Object();
+  event.Set("name", Json::String(name));
+  event.Set("cat", Json::String("pipeline"));
+  event.Set("ph", Json::String("X"));
+  event.Set("ts", Json::Number(ts));
+  event.Set("dur", Json::Number(dur));
+  event.Set("pid", Json::Number(1.0));
+  event.Set("tid", Json::Number(tid));
+  return event;
+}
+
+Json MakeTrace(std::vector<Json> events) {
+  Json array = Json::Array();
+  for (Json& event : events) array.Push(std::move(event));
+  Json trace = Json::Object();
+  trace.Set("displayTimeUnit", Json::String("ms"));
+  trace.Set("traceEvents", std::move(array));
+  return trace;
+}
+
+TEST(TraceSummaryTest, AttributesSelfTimeByIntervalContainment) {
+  // A [0, 100) contains B [10, 40) and C [50, 70): A's self time is
+  // 100 - 30 - 20 = 50 us.
+  const Json trace = MakeTrace({MakeEvent("A", 0, 100, 1),
+                                MakeEvent("B", 10, 30, 1),
+                                MakeEvent("C", 50, 20, 1)});
+  const auto summary = obs::SummarizeTrace(trace);
+  ASSERT_EQ(summary.size(), 3u);
+  // Sorted by descending total time.
+  EXPECT_EQ(summary[0].name, "A");
+  EXPECT_DOUBLE_EQ(summary[0].total_ms, 0.1);
+  EXPECT_DOUBLE_EQ(summary[0].self_ms, 0.05);
+  EXPECT_EQ(summary[1].name, "B");
+  EXPECT_DOUBLE_EQ(summary[1].self_ms, 0.03);
+  EXPECT_EQ(summary[2].name, "C");
+  EXPECT_DOUBLE_EQ(summary[2].self_ms, 0.02);
+}
+
+TEST(TraceSummaryTest, SameIntervalsOnDifferentThreadsDoNotNest) {
+  const Json trace = MakeTrace(
+      {MakeEvent("A", 0, 100, 1), MakeEvent("B", 10, 30, 2)});
+  const auto summary = obs::SummarizeTrace(trace);
+  ASSERT_EQ(summary.size(), 2u);
+  EXPECT_DOUBLE_EQ(summary[0].self_ms, 0.1);   // A keeps its full time
+  EXPECT_DOUBLE_EQ(summary[1].self_ms, 0.03);  // B is not A's child
+}
+
+TEST(TraceSummaryTest, AggregatesRepeatedSpanNames) {
+  const Json trace = MakeTrace({MakeEvent("round", 0, 10, 1),
+                                MakeEvent("round", 20, 10, 1),
+                                MakeEvent("round", 40, 10, 1)});
+  const auto summary = obs::SummarizeTrace(trace);
+  ASSERT_EQ(summary.size(), 1u);
+  EXPECT_EQ(summary[0].count, 3u);
+  EXPECT_DOUBLE_EQ(summary[0].total_ms, 0.03);
+}
+
+TEST(TraceSummaryTest, RejectsMalformedDocuments) {
+  EXPECT_THROW(obs::SummarizeTrace(Json::Parse("[]")), std::runtime_error);
+  EXPECT_THROW(obs::SummarizeTrace(Json::Parse("{}")), std::runtime_error);
+  EXPECT_THROW(
+      obs::SummarizeTrace(Json::Parse(R"({"traceEvents": 3})")),
+      std::runtime_error);
+
+  // An event missing "name" (built directly — Json has no erase).
+  Json bad = Json::Object();
+  bad.Set("cat", Json::String("pipeline"));
+  bad.Set("ph", Json::String("X"));
+  bad.Set("ts", Json::Number(0));
+  bad.Set("dur", Json::Number(1));
+  bad.Set("pid", Json::Number(1));
+  bad.Set("tid", Json::Number(1));
+  EXPECT_THROW(obs::SummarizeTrace(MakeTrace({std::move(bad)})),
+               std::runtime_error);
+
+  Json begin_phase = MakeEvent("x", 0, 1, 1);
+  begin_phase.Set("ph", Json::String("B"));
+  EXPECT_THROW(obs::SummarizeTrace(MakeTrace({std::move(begin_phase)})),
+               std::runtime_error);
+
+  Json negative = MakeEvent("x", 0, 1, 1);
+  negative.Set("dur", Json::Number(-5));
+  EXPECT_THROW(obs::SummarizeTrace(MakeTrace({std::move(negative)})),
+               std::runtime_error);
+
+  Json string_ts = MakeEvent("x", 0, 1, 1);
+  string_ts.Set("ts", Json::String("soon"));
+  EXPECT_THROW(obs::SummarizeTrace(MakeTrace({std::move(string_ts)})),
+               std::runtime_error);
+}
+
+TEST_F(ObsTraceTest, DisabledSpansAreCheapAndRecordNothing) {
+  ASSERT_FALSE(obs::TracingEnabled());
+  obs::StartTracing();
+  obs::StopTracing();  // clear any leftovers, end disabled
+  constexpr std::size_t kSpans = 1'000'000;
+  Timer timer;
+  for (std::size_t i = 0; i < kSpans; ++i) {
+    obs::Span span("never-recorded");
+  }
+  const double seconds = timer.Seconds();
+  // The null-sink path is one relaxed load — microseconds per million
+  // spans in practice. The bound is deliberately generous (sanitizer and
+  // debug builds run this too); it exists to catch the fast path
+  // accidentally acquiring a lock or copying the name.
+  EXPECT_LT(seconds, 5.0);
+  EXPECT_TRUE(obs::CollectTraceEvents().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Timer (obs/timer.h) — the shared clock source
+// ---------------------------------------------------------------------------
+
+TEST(ObsTimerTest, LapsPartitionTheTotal) {
+  Timer timer;
+  const double lap1 = timer.LapSeconds();
+  const double lap2 = timer.LapSeconds();
+  const double total = timer.Seconds();
+  EXPECT_GE(lap1, 0.0);
+  EXPECT_GE(lap2, 0.0);
+  // Laps are consecutive sub-intervals of [start, now].
+  EXPECT_LE(lap1 + lap2, total + 1e-9);
+}
+
+TEST(ObsTimerTest, ResetRestartsBothStopwatchAndLap) {
+  Timer timer;
+  (void)timer.LapSeconds();
+  timer.Reset();
+  EXPECT_GE(timer.Seconds(), 0.0);
+  EXPECT_GE(timer.LapSeconds(), 0.0);
+}
+
+TEST(ObsTimerTest, SteadyNowMicrosIsMonotonic) {
+  const std::uint64_t a = obs::SteadyNowMicros();
+  const std::uint64_t b = obs::SteadyNowMicros();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace sgr

@@ -26,7 +26,7 @@
 //
 //   sgr run scenario.json --out results.json [--threads N]
 //           [--rewire-threads N] [--assembly-threads N]
-//           [--estimator-threads N]
+//           [--estimator-threads N] [--trace trace.json] [--metrics 0|1]
 //   sgr run tables-smoke --out results.json
 //       Execute a declarative scenario — a {dataset x crawler x budget x
 //       method} matrix described by one JSON file or a built-in name —
@@ -44,6 +44,22 @@
 //       estimator pass's worker count. The report's non-timing content
 //       is identical for every value of every one of these knobs.
 //       Without --out the report goes to stdout.
+//
+//       --trace FILE (or SGR_TRACE) records a span trace of the whole
+//       run — crawls, estimation chunks, assembly class pairs, rewiring
+//       rounds, pool tasks, cells — as Chrome trace_event JSON (load it
+//       in chrome://tracing / Perfetto, or `sgr trace summarize` it).
+//       --metrics 1 (or SGR_METRICS=1) adds a per-cell "metrics" block
+//       (oracle queries, proposal counters, pool utilization, peak RSS)
+//       to the report. Both are pure observation: the report's
+//       post-StripVolatile bytes and every generated graph are identical
+//       with them on or off.
+//
+//   sgr trace summarize trace.json
+//       Validate a recorded trace (strict trace_event schema — CI gates
+//       on this) and print the per-span-name time table: count, total
+//       (inclusive) ms, self ms (total minus same-thread children), and
+//       each span's share of the run's self time.
 //
 //   sgr scenarios list
 //   sgr scenarios show tables-smoke
@@ -83,6 +99,9 @@
 #include "graph/components.h"
 #include "graph/generators.h"
 #include "graph/io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "obs/trace_summary.h"
 #include "restore/gjoka.h"
 #include "restore/proposed.h"
 #include "restore/subgraph_method.h"
@@ -368,9 +387,31 @@ int CmdRun(const std::string& source, const Args& args) {
   }
   std::cerr << ", estimator on " << ResolveThreadCount(estimator_threads)
             << " thread(s)\n";
+
+  // Observability knobs: --trace beats $SGR_TRACE (a path), --metrics
+  // beats $SGR_METRICS (0|1). Both default to off — the null-sink path.
+  const char* env_trace = std::getenv("SGR_TRACE");
+  const std::string trace_path =
+      args.GetOr("trace", env_trace == nullptr ? "" : env_trace);
+  bool metrics = EnvOr("SGR_METRICS", 0.0) != 0.0;
+  if (args.Has("metrics")) metrics = args.Get("metrics") == "1";
+  obs::EnableMetrics(metrics);
+  if (!trace_path.empty()) obs::StartTracing();
+
   const ScenarioRunResult result =
       RunScenario(spec, threads, &std::cerr, rewire_threads,
                   assembly_threads, estimator_threads);
+
+  // RunScenario has joined every worker, so the stop/collect sequence
+  // meets the tracer's quiescence contract.
+  if (!trace_path.empty()) {
+    obs::StopTracing();
+    obs::WriteTrace(trace_path);
+    std::cout << "wrote " << trace_path << ": "
+              << obs::CollectTraceEvents().size() << " span(s)\n";
+  }
+  obs::EnableMetrics(false);
+
   const Json report = ScenarioReportToJson(result);
   if (args.Has("out")) {
     const std::string path = args.Get("out");
@@ -410,6 +451,26 @@ int CmdDiff(const std::string& old_path, const std::string& new_path,
     PrintDiff(result, std::cout);
   }
   return result.HasRegression() ? 1 : 0;
+}
+
+/// sgr trace summarize <trace.json>
+int CmdTrace(int argc, char** argv) {
+  const std::string verb = argc > 2 ? argv[2] : "";
+  if (verb != "summarize" || argc < 4) {
+    throw std::runtime_error("usage: sgr trace summarize <trace.json>");
+  }
+  std::ifstream in(argv[3]);
+  if (!in) {
+    throw std::runtime_error(std::string("cannot read trace '") + argv[3] +
+                             "'");
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  // SummarizeTrace is the strict schema validator: a malformed trace
+  // throws (exit 1 through main's handler), which is what CI gates on.
+  obs::PrintTraceSummary(obs::SummarizeTrace(Json::Parse(text.str())),
+                         std::cout);
+  return 0;
 }
 
 /// sgr scenarios list | show <name>
@@ -459,10 +520,15 @@ void PrintUsage() {
       "            [--assembly-threads N]   (or SGR_ASSEMBLY_THREADS;\n"
       "            used with parallel_assembly: true)\n"
       "            [--estimator-threads N]   (or SGR_ESTIMATOR_THREADS)\n"
+      "            [--trace FILE]   (or SGR_TRACE; Chrome trace_event\n"
+      "            JSON of the whole run)\n"
+      "            [--metrics 0|1]   (or SGR_METRICS; per-cell \"metrics\"\n"
+      "            block in the report)\n"
       "  diff      OLD.json NEW.json [--l1-tol X] [--time-tol R]\n"
       "            [--no-timings 1] [--markdown 1]   (exit 1 on\n"
       "            regression)\n"
-      "  scenarios list | show NAME\n";
+      "  scenarios list | show NAME\n"
+      "  trace     summarize FILE   (validate + per-span time table)\n";
 }
 
 }  // namespace
@@ -492,6 +558,7 @@ int main(int argc, char** argv) {
       return CmdDiff(argv[2], argv[3], Args(argc, argv, 4));
     }
     if (command == "scenarios") return CmdScenarios(argc, argv);
+    if (command == "trace") return CmdTrace(argc, argv);
     Args args(argc, argv, 2);
     if (command == "generate") return CmdGenerate(args);
     if (command == "crawl") return CmdCrawl(args);
