@@ -52,20 +52,26 @@ MethodRunResult Evaluate(MethodKind kind, RestorationResult restoration,
 /// Collects the shared sample of the walk-based trio according to the
 /// crawler / walk axes. Every branch consumes RNG draws only through
 /// `rng`, so the default (kRw + kSimple) reproduces the historical
-/// RandomWalkSample stream exactly.
+/// RandomWalkSample stream exactly. `max_steps` caps walk trajectories
+/// (0 = uncapped; the runner sets it only under noise, where hidden edges
+/// can trap a walker inside a small visible component that can never meet
+/// the queried-node target).
 SamplingList SharedSample(QueryOracle& oracle, NodeId seed_node,
                           std::size_t budget,
-                          const ExperimentConfig& config, Rng& rng) {
+                          const ExperimentConfig& config, Rng& rng,
+                          std::size_t max_steps) {
   switch (config.crawler) {
     case CrawlerKind::kRw:
       switch (config.walk) {
         case WalkKind::kSimple:
-          return RandomWalkSample(oracle, seed_node, budget, rng);
+          return RandomWalkSample(oracle, seed_node, budget, rng,
+                                  max_steps);
         case WalkKind::kNonBacktracking:
-          return NonBacktrackingWalkSample(oracle, seed_node, budget, rng);
+          return NonBacktrackingWalkSample(oracle, seed_node, budget, rng,
+                                           max_steps);
         case WalkKind::kMetropolisHastings:
           return MetropolisHastingsWalkSample(oracle, seed_node, budget,
-                                             rng);
+                                              rng, max_steps);
       }
       break;
     case CrawlerKind::kFrontier: {
@@ -76,10 +82,11 @@ SamplingList SharedSample(QueryOracle& oracle, NodeId seed_node,
         seeds.push_back(
             static_cast<NodeId>(rng.NextIndex(oracle.HiddenNumNodes())));
       }
-      return FrontierSample(oracle, seeds, budget, rng);
+      return FrontierSample(oracle, seeds, budget, rng, max_steps);
     }
     case CrawlerKind::kMhrw:
-      return MetropolisHastingsWalkSample(oracle, seed_node, budget, rng);
+      return MetropolisHastingsWalkSample(oracle, seed_node, budget, rng,
+                                          max_steps);
     case CrawlerKind::kBfs:
       return BfsSample(oracle, seed_node, budget);
     case CrawlerKind::kSnowball:
@@ -90,6 +97,22 @@ SamplingList SharedSample(QueryOracle& oracle, NodeId seed_node,
                               config.forest_fire_pf, rng);
   }
   throw std::invalid_argument("unknown crawler kind");
+}
+
+/// Stream tag separating the perturbation seed from every other stream
+/// derived from the run seed (rewire rounds, estimator bootstrap, ...).
+constexpr std::uint64_t kNoiseStream = 0x6E6F6973;  // "nois"
+
+/// Emits the perturbation counters of one crawl into the metrics
+/// registry. Called only when noise is active, so noise-off cells carry
+/// exactly the metric keys they always did.
+void RecordNoiseMetrics(const PerturbedOracle& oracle) {
+  obs::MetricAdd("oracle.api_calls",
+                 static_cast<std::size_t>(oracle.api_calls()));
+  obs::MetricAdd("oracle.failed_queries",
+                 static_cast<std::size_t>(oracle.failed_queries()));
+  obs::MetricAdd("oracle.suppressed_edges",
+                 static_cast<std::size_t>(oracle.suppressed_edges()));
 }
 
 /// Shared implementation: `GraphT` is Graph or CsrGraph; QueryOracle
@@ -103,15 +126,36 @@ std::vector<MethodRunResult> RunExperimentImpl(
   Rng rng(run_seed);
   const auto budget = static_cast<std::size_t>(std::max<double>(
       1.0, config.query_fraction * static_cast<double>(original.NumNodes())));
-  const NodeId seed_node =
+  // The perturbation seed is a pure function of the run seed (itself
+  // seed_base + cell * trials + trial), never of scheduling, so the fault
+  // pattern is identical at every thread count.
+  const std::uint64_t noise_seed = DeriveSeed(run_seed, kNoiseStream);
+  NodeId seed_node =
       static_cast<NodeId>(rng.NextIndex(original.NumNodes()));
+  if (config.noise.failure > 0.0) {
+    // A researcher does not start a crawl from an account the platform
+    // rejects outright — redraw (bounded) until the seed answers. The
+    // extra draws happen only on the noise path, so noise-off runs
+    // consume the historical RNG stream exactly.
+    for (int tries = 0;
+         tries < 128 && NoiseFailsNode(config.noise, noise_seed, seed_node);
+         ++tries) {
+      seed_node = static_cast<NodeId>(rng.NextIndex(original.NumNodes()));
+    }
+  }
+  // Hidden edges / failures can strand a walker inside a small visible
+  // component where the queried-node target is unreachable; the cap turns
+  // that into a graceful short sample. Deterministic in (config, budget).
+  const std::size_t walk_cap =
+      config.noise.Active() ? 200 * budget + 10000 : 0;
 
   if (Wants(config, MethodKind::kBfs)) {
-    QueryOracle oracle(original);
+    PerturbedOracle oracle(original, config.noise, noise_seed);
     obs::Span crawl_span("crawl");
     const SamplingList sample = BfsSample(oracle, seed_node, budget);
     crawl_span.End();
     obs::MetricAdd("oracle.queries", oracle.unique_queries());
+    if (config.noise.Active()) RecordNoiseMetrics(oracle);
     const std::size_t steps = sample.Length();
     results.push_back(Evaluate(
         MethodKind::kBfs, RestoreBySubgraphSampling(sample),
@@ -119,12 +163,13 @@ std::vector<MethodRunResult> RunExperimentImpl(
         oracle.unique_queries()));
   }
   if (Wants(config, MethodKind::kSnowball)) {
-    QueryOracle oracle(original);
+    PerturbedOracle oracle(original, config.noise, noise_seed);
     obs::Span crawl_span("crawl");
     const SamplingList sample = SnowballSample(oracle, seed_node, budget,
                                                config.snowball_k, rng);
     crawl_span.End();
     obs::MetricAdd("oracle.queries", oracle.unique_queries());
+    if (config.noise.Active()) RecordNoiseMetrics(oracle);
     const std::size_t steps = sample.Length();
     results.push_back(Evaluate(
         MethodKind::kSnowball, RestoreBySubgraphSampling(sample),
@@ -132,12 +177,13 @@ std::vector<MethodRunResult> RunExperimentImpl(
         oracle.unique_queries()));
   }
   if (Wants(config, MethodKind::kForestFire)) {
-    QueryOracle oracle(original);
+    PerturbedOracle oracle(original, config.noise, noise_seed);
     obs::Span crawl_span("crawl");
     const SamplingList sample = ForestFireSample(
         oracle, seed_node, budget, config.forest_fire_pf, rng);
     crawl_span.End();
     obs::MetricAdd("oracle.queries", oracle.unique_queries());
+    if (config.noise.Active()) RecordNoiseMetrics(oracle);
     const std::size_t steps = sample.Length();
     results.push_back(Evaluate(
         MethodKind::kForestFire, RestoreBySubgraphSampling(sample),
@@ -154,12 +200,13 @@ std::vector<MethodRunResult> RunExperimentImpl(
     // method (Section V-D: "we perform these methods for the same RW to
     // achieve a fair comparison"). The crawler / walk axes select how it
     // is collected; the default reproduces the paper's simple random walk.
-    QueryOracle oracle(original);
+    PerturbedOracle oracle(original, config.noise, noise_seed);
     obs::Span crawl_span("crawl");
     const SamplingList walk =
-        SharedSample(oracle, seed_node, budget, config, rng);
+        SharedSample(oracle, seed_node, budget, config, rng, walk_cap);
     crawl_span.End();
     obs::MetricAdd("oracle.queries", oracle.unique_queries());
+    if (config.noise.Active()) RecordNoiseMetrics(oracle);
     if (wants_generative && !walk.is_walk) {
       throw std::invalid_argument(
           "generative methods (gjoka/proposed) require a walk crawler "

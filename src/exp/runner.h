@@ -10,6 +10,7 @@
 #include "graph/csr_graph.h"
 #include "graph/graph.h"
 #include "restore/method.h"
+#include "sampling/perturbed_oracle.h"
 #include "util/rng.h"
 
 namespace sgr {
@@ -78,6 +79,16 @@ struct ExperimentConfig {
 
   /// Forest-fire forward probability (paper: pf = 0.7).
   double forest_fire_pf = 0.7;
+
+  /// Crawl-time fault injection (see CrawlNoise). Default-off reproduces
+  /// the cooperative oracle byte for byte; when active, every crawl runs
+  /// through a PerturbedOracle whose seed is derived from the run seed, so
+  /// a given (config, seed) pair sees identical faults at any thread
+  /// count. When the failure knob is on, the runner redraws the seed node
+  /// (extra RNG draws happen only on this path) so a run is not voided by
+  /// starting on a suspended account, and walk crawlers get a
+  /// deterministic step cap so hidden edges cannot trap a walker forever.
+  CrawlNoise noise;
 
   /// Options forwarded to the generative methods (RC = 500 by default).
   RestorationOptions restoration;

@@ -17,6 +17,9 @@ SamplingList BfsSample(QueryOracle& oracle, NodeId seed,
     NodeId v = frontier.front();
     frontier.pop();
     const NeighborSpan nbrs = oracle.Query(v);
+    // A node that answers nothing (private account, spent API budget) is
+    // recorded with an empty list: the query was spent, and the frontier
+    // simply gains no children from it.
     list.visit_sequence.push_back(v);
     list.neighbors.try_emplace(v, nbrs.begin(), nbrs.end());
     for (NodeId w : nbrs) {

@@ -1,7 +1,5 @@
 #include "sampling/metropolis_hastings.h"
 
-#include <cassert>
-
 namespace sgr {
 
 SamplingList MetropolisHastingsWalkSample(QueryOracle& oracle, NodeId seed,
@@ -11,33 +9,53 @@ SamplingList MetropolisHastingsWalkSample(QueryOracle& oracle, NodeId seed,
   SamplingList list;
   list.is_walk = true;
   NodeId current = seed;
-  while (true) {
+  {
     const NeighborSpan nbrs = oracle.Query(current);
-    assert(!nbrs.empty() && "walk reached an isolated node");
+    // Graceful Release-mode stop for a seed with no visible neighbors
+    // (isolated node, private account) — previously an assert-only guard.
+    if (nbrs.empty()) return list;
     list.visit_sequence.push_back(current);
     list.neighbors.try_emplace(current, nbrs.begin(), nbrs.end());
-    if (list.NumQueried() >= target_queried) break;
-    if (max_steps != 0 && list.visit_sequence.size() >= max_steps) break;
-
-    const NodeId proposal = nbrs[rng.NextIndex(nbrs.size())];
-    // Acceptance needs d(proposal), which requires querying it — the
-    // standard MHRW query cost. The oracle memoizes repeat queries of the
-    // same node, matching how crawlers cache neighbor lists in practice.
+  }
+  while (list.NumQueried() < target_queried &&
+         (max_steps == 0 || list.visit_sequence.size() < max_steps)) {
+    // Cached neighbor list of the current node: stable storage, non-empty
+    // by construction (only answered nodes are recorded).
+    const std::vector<NodeId>& nbrs = list.neighbors.at(current);
     const std::size_t d_current = nbrs.size();
-    const NeighborSpan proposal_nbrs = oracle.Query(proposal);
-    // The proposal's neighbor list was paid for; keep it in the sampling
-    // list like any crawler caches fetched data.
-    list.neighbors.try_emplace(proposal, proposal_nbrs.begin(),
-                               proposal_nbrs.end());
-    const std::size_t d_proposal = proposal_nbrs.size();
-    const double accept = static_cast<double>(d_current) /
-                          static_cast<double>(d_proposal);
-    if (accept >= 1.0 || rng.NextBernoulli(accept)) {
-      current = proposal;
+    bool progressed = false;
+    for (std::size_t failures = 0; failures < kMaxConsecutiveFailedMoves;) {
+      const NodeId proposal = nbrs[rng.NextIndex(nbrs.size())];
+      // Acceptance needs d(proposal), which requires querying it — the
+      // standard MHRW query cost. The oracle memoizes repeat queries of
+      // the same node, matching how crawlers cache neighbor lists in
+      // practice.
+      const NeighborSpan proposal_nbrs = oracle.Query(proposal);
+      if (proposal_nbrs.empty()) {
+        // The proposed account answered nothing, so no acceptance ratio
+        // exists: treat the attempt as a failed move (no visit recorded)
+        // and redraw, bounded by the consecutive-failure cap.
+        ++failures;
+        continue;
+      }
+      // The proposal's neighbor list was paid for; keep it in the
+      // sampling list like any crawler caches fetched data.
+      list.neighbors.try_emplace(proposal, proposal_nbrs.begin(),
+                                 proposal_nbrs.end());
+      const std::size_t d_proposal = proposal_nbrs.size();
+      const double accept = static_cast<double>(d_current) /
+                            static_cast<double>(d_proposal);
+      if (accept >= 1.0 || rng.NextBernoulli(accept)) {
+        current = proposal;
+      }
+      // A rejected proposal leaves `current` unchanged and records the
+      // repeat visit, preserving the Markov chain's sojourn-time
+      // statistics that make sample means unbiased.
+      list.visit_sequence.push_back(current);
+      progressed = true;
+      break;
     }
-    // Rejected proposals leave `current` unchanged; the next loop
-    // iteration records the repeat visit, preserving the Markov chain's
-    // sojourn-time statistics that make sample means unbiased.
+    if (!progressed) break;  // stranded among failed neighbors
   }
   return list;
 }

@@ -1,7 +1,5 @@
 #include "sampling/non_backtracking.h"
 
-#include <cassert>
-
 namespace sgr {
 
 SamplingList NonBacktrackingWalkSample(QueryOracle& oracle, NodeId seed,
@@ -12,45 +10,68 @@ SamplingList NonBacktrackingWalkSample(QueryOracle& oracle, NodeId seed,
   NodeId current = seed;
   bool has_previous = false;
   NodeId previous = seed;
-  while (true) {
+  {
     const NeighborSpan nbrs = oracle.Query(current);
-    assert(!nbrs.empty() && "walk reached an isolated node");
+    // Graceful Release-mode stop for a seed with no visible neighbors
+    // (isolated node, private account) — previously an assert-only guard.
+    if (nbrs.empty()) return list;
     list.visit_sequence.push_back(current);
     list.neighbors.try_emplace(current, nbrs.begin(), nbrs.end());
-    if (list.NumQueried() >= target_queried) break;
-    if (max_steps != 0 && list.visit_sequence.size() >= max_steps) break;
-
-    NodeId next;
-    if (!has_previous || nbrs.size() == 1) {
-      // First step, or a degree-1 dead end: plain uniform choice
-      // (backtracking is the only option at a leaf).
-      next = nbrs[rng.NextIndex(nbrs.size())];
-    } else {
-      // Uniform over incident edges that do not return to `previous`.
-      // Rejection sampling is exact and O(1) expected because at most
-      // one distinct neighbor is excluded (multi-edge copies of the
-      // previous node are all excluded; retry until a non-previous
-      // endpoint is drawn — guaranteed to exist since the walk arrived
-      // through one of >= 2 distinct neighbors... if all neighbors equal
-      // `previous` (parallel edges only), fall back to backtracking).
-      bool all_previous = true;
-      for (NodeId w : nbrs) {
-        if (w != previous) {
-          all_previous = false;
-          break;
+  }
+  while (list.NumQueried() < target_queried &&
+         (max_steps == 0 || list.visit_sequence.size() < max_steps)) {
+    // Cached neighbor list: stable storage, non-empty by construction
+    // (only answered nodes are recorded).
+    const std::vector<NodeId>& nbrs = list.neighbors.at(current);
+    bool moved = false;
+    for (std::size_t failures = 0; failures < kMaxConsecutiveFailedMoves;) {
+      NodeId next;
+      if (!has_previous || nbrs.size() == 1) {
+        // First step, or a degree-1 dead end: plain uniform choice
+        // (backtracking is the only option at a leaf).
+        next = nbrs[rng.NextIndex(nbrs.size())];
+      } else {
+        // Uniform over incident edges that do not return to `previous`.
+        // Rejection sampling is exact and O(1) expected because at most
+        // one distinct neighbor is excluded (multi-edge copies of the
+        // previous node are all excluded; retry until a non-previous
+        // endpoint is drawn — guaranteed to exist since the walk arrived
+        // through one of >= 2 distinct neighbors... if all neighbors
+        // equal `previous` (parallel edges only), fall back to
+        // backtracking).
+        bool all_previous = true;
+        for (NodeId w : nbrs) {
+          if (w != previous) {
+            all_previous = false;
+            break;
+          }
+        }
+        if (all_previous) {
+          next = previous;
+        } else {
+          do {
+            next = nbrs[rng.NextIndex(nbrs.size())];
+          } while (next == previous);
         }
       }
-      if (all_previous) {
-        next = previous;
-      } else {
-        do {
-          next = nbrs[rng.NextIndex(nbrs.size())];
-        } while (next == previous);
+      const NeighborSpan next_nbrs = oracle.Query(next);
+      if (next_nbrs.empty()) {
+        // Failed move (private account / spent budget): stay put and
+        // redraw, bounded by the consecutive-failure cap. `previous` is
+        // untouched — the non-backtracking constraint still refers to
+        // the last edge actually walked.
+        ++failures;
+        continue;
       }
+      list.visit_sequence.push_back(next);
+      list.neighbors.try_emplace(next, next_nbrs.begin(), next_nbrs.end());
+      previous = current;
+      has_previous = true;
+      current = next;
+      moved = true;
+      break;
     }
-    previous = current;
-    has_previous = true;
-    current = next;
+    if (!moved) break;  // stranded among failed neighbors
   }
   return list;
 }

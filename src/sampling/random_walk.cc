@@ -1,7 +1,5 @@
 #include "sampling/random_walk.h"
 
-#include <cassert>
-
 namespace sgr {
 
 SamplingList RandomWalkSample(QueryOracle& oracle, NodeId seed,
@@ -10,14 +8,41 @@ SamplingList RandomWalkSample(QueryOracle& oracle, NodeId seed,
   SamplingList list;
   list.is_walk = true;
   NodeId current = seed;
-  while (true) {
+  {
     const NeighborSpan nbrs = oracle.Query(current);
-    assert(!nbrs.empty() && "random walk reached an isolated node");
+    // A seed with no visible neighbors (isolated node, private account,
+    // spent API budget) cannot start a walk. Returning the empty list is
+    // the graceful Release-mode answer to what used to be an assert-only
+    // guard.
+    if (nbrs.empty()) return list;
     list.visit_sequence.push_back(current);
     list.neighbors.try_emplace(current, nbrs.begin(), nbrs.end());
-    if (list.NumQueried() >= target_queried) break;
-    if (max_steps != 0 && list.visit_sequence.size() >= max_steps) break;
-    current = nbrs[rng.NextIndex(nbrs.size())];
+  }
+  while (list.NumQueried() < target_queried &&
+         (max_steps == 0 || list.visit_sequence.size() < max_steps)) {
+    // Draw from the cached neighbor list (stable storage — oracle spans
+    // may be backed by reused scratch). Recorded nodes always have a
+    // non-empty list, so NextIndex's positive-bound contract holds.
+    const std::vector<NodeId>& nbrs = list.neighbors.at(current);
+    bool moved = false;
+    for (std::size_t failures = 0; failures < kMaxConsecutiveFailedMoves;) {
+      const NodeId next = nbrs[rng.NextIndex(nbrs.size())];
+      const NeighborSpan next_nbrs = oracle.Query(next);
+      if (next_nbrs.empty()) {
+        // Failed move: the stepped-to account answered nothing. Stay put
+        // and redraw; the cap bounds the walk against an oracle that
+        // answers nothing at all. Failed nodes are never recorded, so
+        // the sampling list holds only nodes with known neighbor lists.
+        ++failures;
+        continue;
+      }
+      list.visit_sequence.push_back(next);
+      list.neighbors.try_emplace(next, next_nbrs.begin(), next_nbrs.end());
+      current = next;
+      moved = true;
+      break;
+    }
+    if (!moved) break;  // stranded among failed neighbors
   }
   return list;
 }

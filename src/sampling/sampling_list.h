@@ -27,10 +27,20 @@ class QueryOracle {
  public:
   explicit QueryOracle(const Graph& g) : graph_(&g) {}
   explicit QueryOracle(const CsrGraph& g) : csr_(&g) {}
+  virtual ~QueryOracle() = default;
 
   /// Returns N(v): one entry per incident edge endpoint.
   /// Counts the first query to each distinct node.
-  NeighborSpan Query(NodeId v) {
+  ///
+  /// Virtual so an adversarial oracle (sampling/perturbed_oracle.h) can
+  /// inject crawl-time faults behind the same interface. The contract
+  /// crawlers may rely on is weaker than this cooperative base class: a
+  /// query may return an EMPTY span (private/suspended account, exhausted
+  /// API budget), and the returned span is only guaranteed valid until
+  /// the second-next Query call on the same oracle (a derived oracle may
+  /// return filtered views backed by reused scratch storage). Crawlers
+  /// therefore copy what they keep and tolerate empty results.
+  virtual NeighborSpan Query(NodeId v) {
     if (queried_.insert(v).second) ++unique_queries_;
     return graph_ != nullptr ? NeighborSpan(graph_->adjacency(v))
                              : csr_->neighbors(v);
@@ -52,6 +62,15 @@ class QueryOracle {
   std::unordered_set<NodeId> queried_;
   std::size_t unique_queries_ = 0;
 };
+
+/// Walk crawlers treat an empty query result as a failed move: the walker
+/// stays put and redraws. After this many consecutive failed moves the
+/// walk terminates (stranded among private accounts or past the API
+/// budget) — the bound that keeps every walk finite against an oracle
+/// that answers nothing. With per-account failure probability p, a walker
+/// with at least one live neighbor strands spuriously with probability
+/// <= p^64, negligible for any p the scenario schema admits.
+inline constexpr std::size_t kMaxConsecutiveFailedMoves = 64;
 
 /// The sampling list L = ((x_i, N(x_i)))_{i=1..r} of Section III-B, plus the
 /// analogous record for non-walk crawlers.

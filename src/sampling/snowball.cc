@@ -14,14 +14,18 @@ SamplingList SnowballSample(QueryOracle& oracle, NodeId seed,
   list.is_walk = false;
   std::queue<NodeId> frontier;
   std::unordered_set<NodeId> enqueued;
-  std::vector<NodeId> discovered_pool;  // discovered but maybe unqueried
+  std::unordered_set<NodeId> discovered;   // every node ever seen, deduped
+  std::vector<NodeId> discovered_order;    // insertion order, stable draws
   frontier.push(seed);
   enqueued.insert(seed);
   while (list.NumQueried() < target_queried) {
     if (frontier.empty()) {
       // Revive from a random discovered-but-unqueried node, if any remain.
+      // The deduplicated pool keeps the draw uniform — the old code pushed
+      // a node once per observation, biasing revives toward nodes with
+      // many queried neighbors and growing memory without bound.
       std::vector<NodeId> candidates;
-      for (NodeId v : discovered_pool) {
+      for (NodeId v : discovered_order) {
         if (list.neighbors.find(v) == list.neighbors.end()) {
           candidates.push_back(v);
         }
@@ -33,6 +37,9 @@ SamplingList SnowballSample(QueryOracle& oracle, NodeId seed,
     frontier.pop();
     if (list.neighbors.count(v) > 0) continue;
     const NeighborSpan nbrs = oracle.Query(v);
+    // A node that answers nothing (private account, spent API budget) is
+    // recorded with an empty list: it cost a query, and recording it keeps
+    // it out of future revive draws so the loop always terminates.
     list.visit_sequence.push_back(v);
     list.neighbors.try_emplace(v, nbrs.begin(), nbrs.end());
 
@@ -43,7 +50,9 @@ SamplingList SnowballSample(QueryOracle& oracle, NodeId seed,
     std::shuffle(unique.begin(), unique.end(), rng.engine());
     const std::size_t follow = std::min(max_neighbors, unique.size());
     for (std::size_t i = 0; i < unique.size(); ++i) {
-      discovered_pool.push_back(unique[i]);
+      if (discovered.insert(unique[i]).second) {
+        discovered_order.push_back(unique[i]);
+      }
       if (i < follow && enqueued.insert(unique[i]).second) {
         frontier.push(unique[i]);
       }

@@ -110,6 +110,16 @@ std::string CellKey(const Json& cell, const KnobDefaults& defaults) {
       NumberOr(cell, "rewire_batch", defaults.rewire_batch)));
   key.Push(Json::Number(
       NumberOr(cell, "frontier_walkers", defaults.frontier_walkers)));
+  // Noise-off cells omit the block entirely (and pre-noise reports never
+  // had it), so all four coordinates default to zero — off.
+  const Json* noise = cell.Find("noise");
+  const bool has_noise = noise != nullptr && noise->IsObject();
+  key.Push(Json::Number(has_noise ? NumberOr(*noise, "failure", 0.0) : 0.0));
+  key.Push(Json::Number(
+      has_noise ? NumberOr(*noise, "hidden_edges", 0.0) : 0.0));
+  key.Push(Json::Number(has_noise ? NumberOr(*noise, "churn", 0.0) : 0.0));
+  key.Push(Json::Number(
+      has_noise ? NumberOr(*noise, "api_budget", 0.0) : 0.0));
   return key.Dump(0);
 }
 
@@ -139,6 +149,18 @@ std::string CellLabel(const Json& cell, const KnobDefaults& defaults) {
   const double walkers =
       NumberOr(cell, "frontier_walkers", defaults.frontier_walkers);
   if (walkers != 10.0) label << " walkers=" << walkers;
+  if (const Json* noise = cell.Find("noise")) {
+    if (noise->IsObject()) {
+      const double failure = NumberOr(*noise, "failure", 0.0);
+      const double hidden = NumberOr(*noise, "hidden_edges", 0.0);
+      const double churn = NumberOr(*noise, "churn", 0.0);
+      const double api_budget = NumberOr(*noise, "api_budget", 0.0);
+      if (failure != 0.0) label << " fail=" << failure;
+      if (hidden != 0.0) label << " hidden=" << hidden;
+      if (churn != 0.0) label << " churn=" << churn;
+      if (api_budget != 0.0) label << " api_budget=" << api_budget;
+    }
+  }
   return label.str();
 }
 

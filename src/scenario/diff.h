@@ -72,8 +72,10 @@ void ValidateReportSchema(const Json& document);
 
 /// Compares two sgr-report/1 documents. Cells are paired by
 /// (dataset, query_fraction, walk, crawler, estimator, rc,
-/// protect_subgraph, rewire_batch, frontier_walkers); methods inside a
-/// paired cell by name. Produces a
+/// protect_subgraph, rewire_batch, frontier_walkers, noise); methods
+/// inside a paired cell by name. The noise coordinate defaults to
+/// all-zero when a cell has no "noise" block, so pre-axis baselines pair
+/// with new noise-off cells. Produces a
 /// regression finding for every deterministic drift beyond
 /// `options.l1_tolerance`, every timing slowdown beyond
 /// `options.time_tolerance`, and every cell or method present in `old`

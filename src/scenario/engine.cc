@@ -42,6 +42,7 @@ ScenarioCell RunScenarioCell(const std::string& dataset_name,
   cell.protect_subgraph = config.restoration.protect_subgraph;
   cell.rewire_batch = config.restoration.parallel_rewire.batch_size;
   cell.frontier_walkers = config.frontier_walkers;
+  cell.noise = config.noise;
   cell.seed_base = seed_base;
   cell.trials = trials;
 
@@ -209,6 +210,11 @@ ScenarioRunResult RunScenario(const ScenarioSpec& spec,
         }
         if (knobs.crawler == CrawlerKind::kFrontier) {
           *progress << "/walkers " << knobs.frontier_walkers;
+        }
+        if (knobs.noise.Active()) {
+          *progress << "/noise f" << knobs.noise.failure << " h"
+                    << knobs.noise.hidden_edges << " c"
+                    << knobs.noise.churn << " b" << knobs.noise.api_budget;
         }
         *progress << "]: n = " << cell.nodes << ", m = " << cell.edges
                   << ", " << spec.trials << " trials in "

@@ -68,6 +68,18 @@ Json ScenarioCellToJson(const ScenarioCell& cell) {
            Json::Number(static_cast<double>(cell.rewire_batch)));
   json.Set("frontier_walkers",
            Json::Number(static_cast<double>(cell.frontier_walkers)));
+  // Emitted only when the cell ran against the adversarial oracle, the
+  // same conditional-emission contract as the convergence block:
+  // noise-off reports keep their historical byte layout.
+  if (cell.noise.Active()) {
+    Json noise = Json::Object();
+    noise.Set("failure", Json::Number(cell.noise.failure));
+    noise.Set("hidden_edges", Json::Number(cell.noise.hidden_edges));
+    noise.Set("churn", Json::Number(cell.noise.churn));
+    noise.Set("api_budget",
+              Json::Number(static_cast<double>(cell.noise.api_budget)));
+    json.Set("noise", std::move(noise));
+  }
   json.Set("seed_base", Json::Number(static_cast<double>(cell.seed_base)));
   json.Set("trials", Json::Number(static_cast<double>(cell.trials)));
 

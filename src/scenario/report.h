@@ -85,6 +85,11 @@ struct ScenarioCell {
   bool protect_subgraph = true;
   std::size_t rewire_batch = 0;
   std::size_t frontier_walkers = 10;
+  /// Adversarial-oracle coordinates (perturbed_oracle.h). Echoed in the
+  /// cell JSON only when active — noise-off reports keep their historical
+  /// byte layout — with zero defaults on the diff side, so old and new
+  /// reports pair correctly.
+  CrawlNoise noise;
   std::uint64_t seed_base = 0;
   std::size_t trials = 0;
   double wall_seconds = 0.0;  ///< whole trial matrix of this cell
@@ -127,6 +132,8 @@ Json EnvironmentToJson(const RunEnvironment& environment);
 ///    "estimator": {"joint_mode": "hybrid", "collision_fraction": ...},
 ///    "rc": ..., "protect_subgraph": ...,
 ///    "rewire_batch": ..., "frontier_walkers": ...,
+///    "noise": {"failure": ..., "hidden_edges": ..., "churn": ...,
+///              "api_budget": ...},  // only when the cell ran with noise
 ///    "seed_base": ..., "trials": ...,
 ///    "methods": [{"method": "Proposed", "sample_steps": ...,
 ///                 "oracle_queries": ...,

@@ -153,6 +153,28 @@ EstimatorSpec ParseEstimator(const Json& value, const std::string& key) {
   return estimator;
 }
 
+CrawlNoise ParseNoise(const Json& value, const std::string& key) {
+  if (!value.IsObject()) {
+    throw ScenarioError("'" + key + "' must be an object");
+  }
+  CrawlNoise noise;
+  for (const auto& [member, member_value] : value.ObjectMembers()) {
+    if (member == "failure") {
+      noise.failure = RequireNumber(member_value, key + ".failure");
+    } else if (member == "hidden_edges") {
+      noise.hidden_edges =
+          RequireNumber(member_value, key + ".hidden_edges");
+    } else if (member == "churn") {
+      noise.churn = RequireNumber(member_value, key + ".churn");
+    } else if (member == "api_budget") {
+      noise.api_budget = RequireUint(member_value, key + ".api_budget");
+    } else {
+      throw ScenarioError("unknown noise key '" + member + "'");
+    }
+  }
+  return noise;
+}
+
 std::vector<ScenarioDataset> ParseDatasets(const Json& value) {
   std::vector<ScenarioDataset> datasets;
   std::set<std::string> seen;
@@ -390,6 +412,11 @@ ScenarioSpec ScenarioSpec::FromJson(const Json& json) {
           value, key, [](const Json& v, const std::string& k) {
             return static_cast<std::size_t>(RequireUint(v, k));
           });
+    } else if (key == "noise") {
+      spec.noises = ParseScalarOrArray<CrawlNoise>(
+          value, key, [](const Json& v, const std::string& k) {
+            return ParseNoise(v, k);
+          });
     } else if (key == "rewire_threads") {
       spec.rewire_threads =
           static_cast<std::size_t>(RequireUint(value, key));
@@ -625,6 +652,30 @@ void ScenarioSpec::Validate() const {
       }
     }
   }
+  if (noises.empty()) {
+    throw ScenarioError("'noise' must contain at least one variant");
+  }
+  for (std::size_t i = 0; i < noises.size(); ++i) {
+    const CrawlNoise& noise = noises[i];
+    const auto require_noise_prob = [&require_finite](double p,
+                                                      const char* key) {
+      require_finite(p, key);
+      if (p < 0.0 || p > 0.9) {
+        // The oracle itself accepts [0, 1]; the spec stops at 0.9 because
+        // a cell where (almost) every query fails measures nothing.
+        throw ScenarioError(std::string("'") + key +
+                            "' must be in [0, 0.9]");
+      }
+    };
+    require_noise_prob(noise.failure, "noise.failure");
+    require_noise_prob(noise.hidden_edges, "noise.hidden_edges");
+    require_noise_prob(noise.churn, "noise.churn");
+    for (std::size_t j = 0; j < i; ++j) {
+      if (noises[j] == noises[i]) {
+        throw ScenarioError("duplicate noise variant");
+      }
+    }
+  }
   if (snowball_k == 0) throw ScenarioError("'snowball_k' must be >= 1");
   require_finite(forest_fire_pf, "forest_fire_pf");
   if (forest_fire_pf <= 0.0 || forest_fire_pf >= 1.0) {
@@ -741,6 +792,23 @@ Json ScenarioSpec::ToJson() const {
     }
     json.Set("rewire_batch", scalar_or_array(std::move(items)));
   }
+  // The noise axis is emitted only when it departs from the default
+  // single cooperative-oracle entry, so pre-existing reports (which embed
+  // this document verbatim) stay byte-identical; the omitted form parses
+  // back to the same default, preserving the round-trip.
+  if (!(noises.size() == 1 && !noises.front().Active())) {
+    std::vector<Json> items;
+    for (const CrawlNoise& noise : noises) {
+      Json entry = Json::Object();
+      entry.Set("failure", Json::Number(noise.failure));
+      entry.Set("hidden_edges", Json::Number(noise.hidden_edges));
+      entry.Set("churn", Json::Number(noise.churn));
+      entry.Set("api_budget",
+                Json::Number(static_cast<double>(noise.api_budget)));
+      items.push_back(std::move(entry));
+    }
+    json.Set("noise", scalar_or_array(std::move(items)));
+  }
   json.Set("rewire_threads",
            Json::Number(static_cast<double>(rewire_threads)));
   json.Set("parallel_assembly", Json::Bool(parallel_assembly));
@@ -778,6 +846,7 @@ ExperimentConfig ScenarioSpec::ToExperimentConfig(
   config.restoration.track_properties = track_properties;
   config.restoration.stop_epsilon = stop_epsilon;
   config.restoration.protect_subgraph = knobs.protect_subgraph;
+  config.noise = knobs.noise;
   config.restoration.estimator.joint_mode = knobs.estimator.joint_mode;
   config.restoration.estimator.collision_threshold_fraction =
       knobs.estimator.collision_fraction;
@@ -807,6 +876,7 @@ ExperimentConfig ScenarioSpec::ToExperimentConfig(double fraction) const {
   knobs.protect_subgraph = protects.front();
   knobs.rewire_batch = rewire_batches.front();
   knobs.frontier_walkers = frontier_walkers.front();
+  knobs.noise = noises.front();
   return ToExperimentConfig(knobs);
 }
 
@@ -820,16 +890,19 @@ std::vector<CellKnobs> ScenarioSpec::ExpandKnobs() const {
             for (bool protect : protects) {
               for (std::size_t batch : rewire_batches) {
                 for (std::size_t walkers : frontier_walkers) {
-                  CellKnobs knobs;
-                  knobs.fraction = fraction;
-                  knobs.walk = walk;
-                  knobs.crawler = crawler;
-                  knobs.estimator = estimator;
-                  knobs.rc = rc;
-                  knobs.protect_subgraph = protect;
-                  knobs.rewire_batch = batch;
-                  knobs.frontier_walkers = walkers;
-                  expanded.push_back(knobs);
+                  for (const CrawlNoise& noise : noises) {
+                    CellKnobs knobs;
+                    knobs.fraction = fraction;
+                    knobs.walk = walk;
+                    knobs.crawler = crawler;
+                    knobs.estimator = estimator;
+                    knobs.rc = rc;
+                    knobs.protect_subgraph = protect;
+                    knobs.rewire_batch = batch;
+                    knobs.frontier_walkers = walkers;
+                    knobs.noise = noise;
+                    expanded.push_back(knobs);
+                  }
                 }
               }
             }
@@ -845,7 +918,8 @@ std::vector<std::string> BuiltinScenarioNames() {
   return {"tables-smoke",  "table2",        "table3",
           "table4-time",   "table5-youtube", "fig3-sweep",
           "ablation-walk", "ablation-rc",   "ablation-jdm",
-          "ablation-rewire", "ablation-batch", "ablation-frontier"};
+          "ablation-rewire", "ablation-batch", "ablation-frontier",
+          "ablation-noise"};
 }
 
 bool IsBuiltinScenario(const std::string& name) {
@@ -903,6 +977,11 @@ std::string BuiltinScenarioDescription(const std::string& name) {
   if (name == "ablation-frontier") {
     return "Frontier walker-count sweep: coupled-walker budget vs "
            "restoration accuracy (frontier_walkers axis)";
+  }
+  if (name == "ablation-noise") {
+    return "Adversarial-oracle sweep: cooperative oracle vs private "
+           "accounts vs hidden edges vs churn vs an API-call budget "
+           "(noise axis), all six methods";
   }
   throw ScenarioError("unknown built-in scenario '" + name + "'");
 }
@@ -1039,6 +1118,27 @@ ScenarioSpec BuiltinScenario(const std::string& name) {
     spec.path_sources = 40;
     spec.dataset_scale = 0.1;
     spec.seed_base = 0xAB7'0000;
+  } else if (name == "ablation-noise") {
+    // Robustness sweep of the adversarial oracle: the same protocol under
+    // the cooperative oracle, then with each fault family on its own —
+    // private/suspended accounts, hidden edges, transient churn, and a
+    // hard API-call budget. All six methods run so the cells compare how
+    // gracefully each restoration method degrades (the BENCHMARKS.md
+    // robustness table).
+    spec.datasets = registry({"brightkite"});
+    // The API budget is in calls, not nodes: at dataset_scale 0.1 the
+    // node budget is ~50, and a walk spends ~65-70 calls reaching it, so
+    // a 40-call budget genuinely truncates every crawl.
+    spec.noises = {{},
+                   {0.2, 0.0, 0.0, 0},
+                   {0.0, 0.3, 0.0, 0},
+                   {0.0, 0.0, 0.2, 0},
+                   {0.0, 0.0, 0.0, 40}};
+    spec.trials = 2;
+    spec.rcs = {10.0};
+    spec.path_sources = 40;
+    spec.dataset_scale = 0.1;
+    spec.seed_base = 0xAB8'0000;
   } else {
     throw ScenarioError("unknown built-in scenario '" + name + "'");
   }

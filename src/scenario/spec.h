@@ -69,7 +69,7 @@ struct EstimatorSpec {
 
 /// Coordinates of one cell of the expanded scenario matrix — everything
 /// that varies between cells besides the dataset. RunScenario enumerates
-/// these axes fractions-major through protects-minor (see engine.h) and
+/// these axes fractions-major through noise-minor (see engine.h) and
 /// each cell's report echoes them, so `sgr diff` can pair cells across
 /// reports by (dataset, knobs).
 struct CellKnobs {
@@ -85,6 +85,8 @@ struct CellKnobs {
   /// Walker count of the frontier crawler (ignored by the others, but
   /// echoed regardless so cells pair canonically).
   std::size_t frontier_walkers = 10;
+  /// Crawl-time fault injection (default: the cooperative oracle).
+  CrawlNoise noise;
 };
 
 /// Declarative description of one crawl -> restore -> evaluate matrix:
@@ -176,6 +178,14 @@ struct ScenarioSpec {
   /// `track_properties`): halt rewiring once the tracked L1 clustering
   /// distance is within this value. 0 disables the stop.
   double stop_epsilon = 0.0;
+  /// Adversarial-oracle axis (JSON key "noise": one object or an array of
+  /// objects with "failure", "hidden_edges", "churn", "api_budget"; see
+  /// CrawlNoise). The probabilities are capped at 0.9 at the spec level —
+  /// a cell where (almost) every query fails measures nothing; the
+  /// degenerate extremes stay reachable through the PerturbedOracle API
+  /// directly. Default: one all-off entry, the cooperative oracle, which
+  /// keeps pre-existing documents and reports byte-identical.
+  std::vector<CrawlNoise> noises = {{}};
 
   /// Parses and validates a scenario document. Unknown keys, wrong types,
   /// out-of-range values, unknown dataset/method names, and empty
@@ -213,9 +223,9 @@ struct ScenarioSpec {
 
   /// Enumerates the knob coordinates of the non-dataset axes in cell
   /// order: fractions-major, then walks, crawlers, estimators, rcs,
-  /// protects, rewire_batches, frontier_walkers (minor). The two newest
-  /// axes sit innermost so single-valued specs expand to exactly the cell
-  /// list — and therefore the seed schedule — they always did.
+  /// protects, rewire_batches, frontier_walkers, noises (minor). The
+  /// newest axes sit innermost so single-valued specs expand to exactly
+  /// the cell list — and therefore the seed schedule — they always did.
   /// RunScenario visits datasets-major over this list.
   std::vector<CellKnobs> ExpandKnobs() const;
 };
@@ -251,6 +261,8 @@ std::string JointModeToken(JointEstimatorMode mode);
 ///   ablation-batch   sequential loop vs speculative rounds (rewire_batch
 ///                    sweep) through the parallel assembly engine
 ///   ablation-frontier  frontier walker-count sweep (frontier_walkers)
+///   ablation-noise   adversarial-oracle sweep: cooperative vs private
+///                    accounts vs hidden edges vs churn (noise axis)
 std::vector<std::string> BuiltinScenarioNames();
 bool IsBuiltinScenario(const std::string& name);
 ScenarioSpec BuiltinScenario(const std::string& name);

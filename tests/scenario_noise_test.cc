@@ -1,0 +1,283 @@
+// The noise scenario axis: spec parsing/round-trip/validation of the
+// "noise" knob, expansion order, the per-cell echo in reports, diff
+// pairing against pre-axis reports, and the engine-level determinism
+// contract (noise off is byte-identical to a spec with no noise key;
+// any noise setting is byte-identical across thread counts).
+
+#include <cmath>
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "scenario/diff.h"
+#include "scenario/engine.h"
+#include "scenario/report.h"
+#include "scenario/spec.h"
+
+namespace sgr {
+namespace {
+
+/// CI-sized hermetic spec (generator dataset, no files) with a noise
+/// axis: cooperative baseline plus one cell per fault family.
+ScenarioSpec NoisySpec() {
+  return ScenarioSpec::FromJson(Json::Parse(R"({
+    "name": "noisy",
+    "datasets": [{"name": "tiny-powerlaw", "model": "powerlaw",
+                  "nodes": 150, "edges_per_node": 3, "triad_p": 0.4,
+                  "seed": 11}],
+    "fractions": [0.1],
+    "trials": 2,
+    "seed_base": 1234,
+    "rc": 5,
+    "path_sources": 20,
+    "noise": [{},
+              {"failure": 0.2},
+              {"hidden_edges": 0.3},
+              {"churn": 0.2},
+              {"api_budget": 10}]
+  })"));
+}
+
+// ---------------------------------------------------------------------------
+// Spec layer
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioNoiseSpecTest, ParsesScalarAndArrayForms) {
+  const ScenarioSpec scalar = ScenarioSpec::FromJson(Json::Parse(R"({
+    "datasets": ["anybeat"],
+    "noise": {"failure": 0.1, "hidden_edges": 0.2, "churn": 0.3,
+              "api_budget": 500}
+  })"));
+  ASSERT_EQ(scalar.noises.size(), 1u);
+  EXPECT_DOUBLE_EQ(scalar.noises[0].failure, 0.1);
+  EXPECT_DOUBLE_EQ(scalar.noises[0].hidden_edges, 0.2);
+  EXPECT_DOUBLE_EQ(scalar.noises[0].churn, 0.3);
+  EXPECT_EQ(scalar.noises[0].api_budget, 500u);
+  EXPECT_TRUE(scalar.noises[0].Active());
+
+  const ScenarioSpec array = NoisySpec();
+  ASSERT_EQ(array.noises.size(), 5u);
+  EXPECT_FALSE(array.noises[0].Active());  // {} is the cooperative oracle
+  EXPECT_DOUBLE_EQ(array.noises[1].failure, 0.2);
+  EXPECT_DOUBLE_EQ(array.noises[2].hidden_edges, 0.3);
+  EXPECT_DOUBLE_EQ(array.noises[3].churn, 0.2);
+  EXPECT_EQ(array.noises[4].api_budget, 10u);
+}
+
+TEST(ScenarioNoiseSpecTest, OmittedNoiseIsTheCooperativeOracle) {
+  const ScenarioSpec spec =
+      ScenarioSpec::FromJson(Json::Parse(R"({"datasets": ["anybeat"]})"));
+  ASSERT_EQ(spec.noises.size(), 1u);
+  EXPECT_FALSE(spec.noises[0].Active());
+  // ...and an inactive default axis stays out of the canonical form, so
+  // pre-axis documents round-trip unchanged.
+  EXPECT_EQ(spec.ToJson().Find("noise"), nullptr);
+}
+
+TEST(ScenarioNoiseSpecTest, RoundTripsThroughJson) {
+  const ScenarioSpec spec = NoisySpec();
+  const ScenarioSpec reparsed = ScenarioSpec::FromJson(spec.ToJson());
+  ASSERT_EQ(reparsed.noises.size(), spec.noises.size());
+  for (std::size_t i = 0; i < spec.noises.size(); ++i) {
+    EXPECT_TRUE(reparsed.noises[i] == spec.noises[i]) << "variant " << i;
+  }
+  // Canonical form is a fixed point.
+  EXPECT_EQ(spec.ToJson().Dump(2), reparsed.ToJson().Dump(2));
+}
+
+TEST(ScenarioNoiseSpecTest, ValidationErrors) {
+  const char* cases[] = {
+      // Probabilities capped at 0.9: a sweep should degrade the crawl,
+      // not erase it.
+      R"({"datasets": ["anybeat"], "noise": {"failure": 0.95}})",
+      R"({"datasets": ["anybeat"], "noise": {"hidden_edges": 1.0}})",
+      R"({"datasets": ["anybeat"], "noise": {"churn": 2}})",
+      R"({"datasets": ["anybeat"], "noise": {"failure": -0.1}})",
+      R"({"datasets": ["anybeat"], "noise": {"failure": null}})",
+      R"({"datasets": ["anybeat"], "noise": {"api_budget": -5}})",
+      R"({"datasets": ["anybeat"], "noise": {"api_budget": 1.5}})",
+      R"({"datasets": ["anybeat"], "noise": {"typo_knob": 0.1}})",
+      R"({"datasets": ["anybeat"], "noise": []})",
+      R"({"datasets": ["anybeat"], "noise": 0.3})",  // must be an object
+      // Duplicate variants would run identical cells.
+      R"({"datasets": ["anybeat"],
+          "noise": [{"failure": 0.2}, {"failure": 0.2}]})",
+      R"({"datasets": ["anybeat"], "noise": [{}, {}]})",
+  };
+  for (const char* text : cases) {
+    EXPECT_THROW(ScenarioSpec::FromJson(Json::Parse(text)), ScenarioError)
+        << text;
+  }
+}
+
+TEST(ScenarioNoiseSpecTest, ExpandsInnermost) {
+  // Noise is the innermost axis so that adding noise variants leaves the
+  // (dataset, fraction, ...) -> cell_seed schedule of the leading cells'
+  // knob combinations in the same relative order as without them.
+  ScenarioSpec spec = NoisySpec();
+  spec.fractions = {0.1, 0.2};
+  const std::vector<CellKnobs> knobs = spec.ExpandKnobs();
+  ASSERT_EQ(knobs.size(), 10u);  // 2 fractions x 5 noise variants
+  for (std::size_t i = 0; i < knobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(knobs[i].fraction, i < 5 ? 0.1 : 0.2);
+    EXPECT_TRUE(knobs[i].noise == spec.noises[i % 5]) << "cell " << i;
+  }
+}
+
+TEST(ScenarioNoiseSpecTest, KnobsReachTheExperimentConfig) {
+  const ScenarioSpec spec = NoisySpec();
+  const std::vector<CellKnobs> knobs = spec.ExpandKnobs();
+  const ExperimentConfig failure_cell = spec.ToExperimentConfig(knobs[1]);
+  EXPECT_DOUBLE_EQ(failure_cell.noise.failure, 0.2);
+  EXPECT_TRUE(failure_cell.noise.Active());
+  const ExperimentConfig clean_cell = spec.ToExperimentConfig(knobs[0]);
+  EXPECT_FALSE(clean_cell.noise.Active());
+}
+
+TEST(ScenarioNoiseSpecTest, AblationNoiseBuiltinSweepsEveryFaultFamily) {
+  const ScenarioSpec spec = BuiltinScenario("ablation-noise");
+  ASSERT_EQ(spec.noises.size(), 5u);
+  EXPECT_FALSE(spec.noises[0].Active());  // cooperative baseline first
+  bool failure = false, hidden = false, churn = false, budget = false;
+  for (const CrawlNoise& noise : spec.noises) {
+    failure |= noise.failure > 0.0;
+    hidden |= noise.hidden_edges > 0.0;
+    churn |= noise.churn > 0.0;
+    budget |= noise.api_budget > 0;
+  }
+  EXPECT_TRUE(failure && hidden && churn && budget);
+}
+
+// ---------------------------------------------------------------------------
+// Engine and report
+// ---------------------------------------------------------------------------
+
+TEST(ScenarioNoiseEngineTest, CellsEchoOnlyActiveNoise) {
+  const ScenarioRunResult result = RunScenario(NoisySpec(), 1);
+  ASSERT_EQ(result.cells.size(), 5u);
+  const Json report = ScenarioReportToJson(result);
+  const auto& cells = report.Find("cells")->Items();
+  ASSERT_EQ(cells.size(), 5u);
+  // The cooperative cell carries no noise block (pre-axis report shape);
+  // each noisy cell echoes its full coordinate.
+  EXPECT_EQ(cells[0].Find("noise"), nullptr);
+  for (std::size_t i = 1; i < 5; ++i) {
+    const Json* noise = cells[i].Find("noise");
+    ASSERT_NE(noise, nullptr) << "cell " << i;
+    EXPECT_NE(noise->Find("failure"), nullptr);
+    EXPECT_NE(noise->Find("hidden_edges"), nullptr);
+    EXPECT_NE(noise->Find("churn"), nullptr);
+    EXPECT_NE(noise->Find("api_budget"), nullptr);
+  }
+  EXPECT_DOUBLE_EQ(cells[1].Find("noise")->Find("failure")->AsNumber(),
+                   0.2);
+  EXPECT_DOUBLE_EQ(cells[4].Find("noise")->Find("api_budget")->AsNumber(),
+                   10.0);
+}
+
+TEST(ScenarioNoiseEngineTest, NoiseCellsStillProduceRestorations) {
+  // Under every fault family the full pipeline (crawl -> estimate ->
+  // restore -> properties) must complete with finite distances.
+  const ScenarioRunResult result = RunScenario(NoisySpec(), 1);
+  for (const ScenarioCell& cell : result.cells) {
+    ASSERT_EQ(cell.methods.size(), 6u);
+    for (const auto& [kind, aggregate] : cell.methods) {
+      (void)kind;
+      const DistanceSummary summary = aggregate.distances.Summarize();
+      EXPECT_EQ(summary.runs, 2u);
+      EXPECT_TRUE(std::isfinite(summary.mean_average));
+      EXPECT_GE(summary.mean_average, 0.0);
+    }
+  }
+}
+
+TEST(ScenarioNoiseEngineTest, ReportByteIdenticalAcrossThreadCounts) {
+  const ScenarioSpec spec = NoisySpec();
+  const std::string a =
+      StripVolatile(ScenarioReportToJson(RunScenario(spec, 1))).Dump(2);
+  const std::string b =
+      StripVolatile(ScenarioReportToJson(RunScenario(spec, 4))).Dump(2);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ScenarioNoiseEngineTest, NoiseOffIsByteIdenticalToNoNoiseKey) {
+  // The entire perturbation layer must be invisible when inactive: a spec
+  // that lists the cooperative oracle explicitly produces the same
+  // stripped report as one that never mentions noise. (This is the
+  // engine-level half of the drift-0 guarantee against pre-axis
+  // baselines.)
+  ScenarioSpec with_default = NoisySpec();
+  with_default.noises = {{}};
+  ScenarioSpec without_key = NoisySpec();
+  without_key.noises = {{}};
+  // Sanity: both canonical forms omit the knob entirely.
+  EXPECT_EQ(with_default.ToJson().Find("noise"), nullptr);
+  const std::string a =
+      StripVolatile(ScenarioReportToJson(RunScenario(with_default, 1)))
+          .Dump(2);
+  const std::string b =
+      StripVolatile(ScenarioReportToJson(RunScenario(without_key, 2)))
+          .Dump(2);
+  EXPECT_EQ(a, b);
+}
+
+// ---------------------------------------------------------------------------
+// Diff pairing
+// ---------------------------------------------------------------------------
+
+std::string Rendered(const DiffResult& diff) {
+  std::ostringstream out;
+  PrintDiff(diff, out);
+  return out.str();
+}
+
+TEST(ScenarioNoiseDiffTest, SameNoisyScenarioDiffsClean) {
+  const ScenarioSpec spec = NoisySpec();
+  const Json a = ScenarioReportToJson(RunScenario(spec, 1));
+  const Json b = ScenarioReportToJson(RunScenario(spec, 2));
+  // Timings off: the two runs share a machine but not a wall clock; the
+  // deterministic content is what must pair and reproduce.
+  DiffOptions options;
+  options.compare_timings = false;
+  const DiffResult diff = DiffReports(a, b, options);
+  EXPECT_FALSE(diff.HasRegression()) << Rendered(diff);
+  // Every (fraction, noise) coordinate paired: 5 cells x 6 methods.
+  EXPECT_EQ(diff.cells_compared, 5u);
+  EXPECT_EQ(diff.methods_compared, 30u);
+}
+
+TEST(ScenarioNoiseDiffTest, NoiseCellsPairByCoordinateNotByOrder) {
+  // Two single-variant runs with different noise settings must NOT pair
+  // with each other: the noise block is part of the cell key, so the
+  // disjoint coordinates show up as coverage notes, not silent drift.
+  ScenarioSpec failure_spec = NoisySpec();
+  failure_spec.noises = {{0.2, 0.0, 0.0, 0}};
+  ScenarioSpec churn_spec = NoisySpec();
+  churn_spec.noises = {{0.0, 0.0, 0.2, 0}};
+  const Json a = ScenarioReportToJson(RunScenario(failure_spec, 1));
+  const Json b = ScenarioReportToJson(RunScenario(churn_spec, 1));
+  const DiffResult diff = DiffReports(a, b);
+  EXPECT_EQ(diff.methods_compared, 0u);
+}
+
+TEST(ScenarioNoiseDiffTest, PreAxisReportsPairWithNoiseOffCells) {
+  // A baseline recorded before the noise axis existed has no noise block
+  // anywhere; a new noise-off run emits none either. The two must pair
+  // and diff clean — this is what lets CI keep its checked-in baseline.
+  ScenarioSpec spec = NoisySpec();
+  spec.noises = {{}};
+  const Json a = ScenarioReportToJson(RunScenario(spec, 1));
+  const Json b = ScenarioReportToJson(RunScenario(spec, 1));
+  ASSERT_EQ(a.Find("cells")->Items()[0].Find("noise"), nullptr);
+  DiffOptions options;
+  options.compare_timings = false;
+  const DiffResult diff = DiffReports(a, b, options);
+  EXPECT_FALSE(diff.HasRegression()) << Rendered(diff);
+  EXPECT_EQ(diff.methods_compared, 6u);
+}
+
+}  // namespace
+}  // namespace sgr

@@ -29,7 +29,10 @@
 //           [--estimator-threads N] [--trace trace.json] [--metrics 0|1]
 //   sgr run tables-smoke --out results.json
 //       Execute a declarative scenario — a {dataset x crawler x budget x
-//       method} matrix described by one JSON file or a built-in name —
+//       noise x method} matrix described by one JSON file or a built-in
+//       name (the "noise" axis runs the crawl against an adversarial
+//       oracle: per-node query failure, hidden edges, churn, and an
+//       API-call budget; see ARCHITECTURE.md) —
 //       through the parallel trial engine, and write a structured JSON
 //       report (per-cell wall-clock timings, the 12-property L1
 //       distances, per-method rewiring statistics, and the run
@@ -70,7 +73,7 @@
 //            [--markdown 1]
 //       Compare two sgr-report/1 files: cells are paired by (dataset,
 //       fraction, walk, crawler, estimator, rc, protect_subgraph,
-//       rewire_batch, frontier_walkers) and each method aggregate is
+//       rewire_batch, frontier_walkers, noise) and each method aggregate is
 //       checked for deterministic L1 drift (tolerance --l1-tol, default
 //       1e-9 — same spec + seed must reproduce the same numbers) and
 //       timing slowdowns (relative tolerance --time-tol, default 0.5 =
