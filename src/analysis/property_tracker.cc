@@ -38,6 +38,7 @@ PropertyTracker::PropertyTracker(const Graph& g, PropertyAnalysisMode mode)
   // the histogram by the pair's multiplicity — the same initial state
   // EdgewiseSharedPartners derives, in counter form.
   for (NodeId u = 0; u < num_nodes_; ++u) {
+    // sgr-check: allow(unordered-iter) keyed emplace + histogram increments; each pair visited once
     for (const auto& [v, mult] : adj_[u]) {
       if (v <= u) continue;
       const std::int64_t shared = SharedPartners(u, v);
@@ -60,6 +61,7 @@ PropertyTracker::PropertyTracker(const Graph& g, PropertyAnalysisMode mode)
     for (std::size_t head = 0; head < queue.size(); ++head) {
       const NodeId v = queue[head];
       component_[v] = label;
+      // sgr-check: allow(unordered-iter) BFS discovery: labels and sizes are set facts, visit order is not observable
       for (const auto& [w, mult] : adj_[v]) {
         if (!seen[w]) {
           seen[w] = 1;
@@ -151,11 +153,13 @@ void PropertyTracker::AddEdgeInternal(NodeId x, NodeId y) {
   // adjacent carry histogram weight.
   AdjacencyMap& ax = adj_[x];
   AdjacencyMap& ay = adj_[y];
+  // sgr-check: allow(unordered-iter) per-distinct-pair integer moves, each pair touched exactly once
   for (const auto& [v, m_vy] : ay) {  // pairs {x, v}: new w = y term
     if (v == x || v == y) continue;
     const auto it = ax.find(v);
     if (it != ax.end()) MovePairShared(x, v, it->second, m_vy);
   }
+  // sgr-check: allow(unordered-iter) per-distinct-pair integer moves, each pair touched exactly once
   for (const auto& [u, m_ux] : ax) {  // pairs {y, u}: new w = x term
     if (u == x || u == y) continue;
     const auto it = ay.find(u);
@@ -200,11 +204,13 @@ void PropertyTracker::RemoveEdgeInternal(NodeId x, NodeId y) {
   BumpHistogram(ps->second, -1);
   if (own->second == 1) pair_shared_.erase(ps);
 
+  // sgr-check: allow(unordered-iter) per-distinct-pair integer moves, each pair touched exactly once
   for (const auto& [v, m_vy] : ay) {  // pairs {x, v}: lose the w = y term
     if (v == x || v == y) continue;
     const auto it = ax.find(v);
     if (it != ax.end()) MovePairShared(x, v, it->second, -m_vy);
   }
+  // sgr-check: allow(unordered-iter) per-distinct-pair integer moves, each pair touched exactly once
   for (const auto& [u, m_ux] : ax) {  // pairs {y, u}: lose the w = x term
     if (u == x || u == y) continue;
     const auto it = ay.find(u);
@@ -240,6 +246,7 @@ void PropertyTracker::MergeComponents(NodeId x, NodeId y) {
   queue_a_.push_back(start);
   component_[start] = big_label;
   for (std::size_t head = 0; head < queue_a_.size(); ++head) {
+    // sgr-check: allow(unordered-iter) BFS relabel: the reached set, not the visit order, is the outcome
     for (const auto& [w, mult] : adj_[queue_a_[head]]) {
       if (component_[w] != small_label) continue;
       component_[w] = big_label;
@@ -279,6 +286,7 @@ void PropertyTracker::SplitComponents(NodeId x, NodeId y) {
       detach(queue_a_);
       return;
     }
+    // sgr-check: allow(unordered-iter) bidirectional BFS: connectivity and the detached set are order-free
     for (const auto& [w, mult] : adj_[queue_a_[head_a]]) {
       if (mark_b_[w] == epoch_) return;  // still connected
       if (mark_a_[w] == epoch_) continue;
@@ -290,6 +298,7 @@ void PropertyTracker::SplitComponents(NodeId x, NodeId y) {
       detach(queue_b_);
       return;
     }
+    // sgr-check: allow(unordered-iter) bidirectional BFS: connectivity and the detached set are order-free
     for (const auto& [w, mult] : adj_[queue_b_[head_b]]) {
       if (mark_a_[w] == epoch_) return;
       if (mark_b_[w] == epoch_) continue;
@@ -345,6 +354,7 @@ std::int64_t PropertyTracker::Multiplicity(NodeId u, NodeId v) const {
 Graph PropertyTracker::MaterializeGraph() const {
   Graph g(num_nodes_);
   for (NodeId u = 0; u < num_nodes_; ++u) {
+    // sgr-check: allow(unordered-iter) consumers are order-insensitive property sums; sorting here would change FP summation shapes locked by baselines
     for (const auto& [v, mult] : adj_[u]) {
       if (v < u) continue;
       const std::int32_t copies = (v == u) ? mult / 2 : mult;

@@ -94,6 +94,7 @@ void TriangleTracker::ApplyTriangleDelta(NodeId u, NodeId v,
   const NodeId a = adj_[u].size() <= adj_[v].size() ? u : v;
   const NodeId b = (a == u) ? v : u;
   std::int64_t common = 0;
+  // sgr-check: allow(unordered-iter) integer triangle-count deltas; per-w updates commute
   for (const auto& [w, a_aw] : adj_[a]) {
     if (w == u || w == v) continue;
     auto it = adj_[b].find(w);
@@ -213,6 +214,7 @@ double TriangleTracker::EvaluateSwapDelta(
     const NodeId p = adj_[op.u].size() <= adj_[op.v].size() ? op.u : op.v;
     const NodeId q = (p == op.u) ? op.v : op.u;
     std::int64_t common = 0;
+    // sgr-check: allow(unordered-iter) integer triangle-count deltas; per-w updates commute
     for (const auto& [w, m_pw] : adj_[p]) {
       if (w == op.u || w == op.v || is_endpoint(w)) continue;
       const auto it = adj_[q].find(w);

@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/sorted_keys.h"
+
 namespace sgr {
 
 /// Packs an ordered degree pair (k, k') into a 64-bit map key.
@@ -43,12 +45,12 @@ class SparseJointDist {
 
   /// Σ_k Σ_k' P̂(k, k') over all ordered pairs: equals 1 for a normalized
   /// joint degree distribution (Eq. (3): the µ factor makes the full
-  /// double sum — not the unordered one — normalize to 1).
+  /// double sum — not the unordered one — normalize to 1). Summed in key
+  /// order so the FP result does not depend on hash layout.
   double TotalMass() const {
     double total = 0.0;
-    for (const auto& [key, value] : values_) {
-      (void)key;
-      total += value;
+    for (const std::uint64_t key : SortedKeys(values_)) {
+      total += values_.at(key);
     }
     return total;
   }

@@ -6,11 +6,11 @@
 #include <memory>
 #include <stdexcept>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "exp/parallel.h"
 #include "graph/csr_graph.h"
+#include "util/sorted_keys.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -97,8 +97,9 @@ struct CrawlCsr {
     const std::size_t q = list.neighbors.size();
     original_id.reserve(q);
     to_compact.reserve(q * 2);
-    for (const auto& [u, nbrs] : list.neighbors) {
-      (void)nbrs;
+    // Compact ids in ascending original-id order: the numbering (and the
+    // chunk partition derived from it) is portable across hash layouts.
+    for (const NodeId u : SortedKeys(list.neighbors)) {
       to_compact.emplace(u, static_cast<std::uint32_t>(original_id.size()));
       original_id.push_back(u);
     }
@@ -191,7 +192,8 @@ LocalEstimates SmallSampleEstimates(const SamplingList& list) {
   LocalEstimates est;
   const std::size_t r = list.Length();
   std::vector<NodeId> seen;
-  for (const auto& [node, nbrs] : list.neighbors) {
+  for (const NodeId node : SortedKeys(list.neighbors)) {
+    const std::vector<NodeId>& nbrs = list.neighbors.at(node);
     seen.push_back(node);
     seen.insert(seen.end(), nbrs.begin(), nbrs.end());
   }
@@ -262,9 +264,8 @@ double EstimateNumNodesImpl(const SamplingList& list, double fallback,
   const auto positions = PositionsByNode(walk);
   std::vector<const std::vector<std::size_t>*> position_lists;
   position_lists.reserve(positions.size());
-  for (const auto& [node, pos] : positions) {
-    (void)node;
-    position_lists.push_back(&pos);
+  for (const NodeId node : SortedKeys(positions)) {
+    position_lists.push_back(&positions.at(node));
   }
   const ChunkRunner node_runner(position_lists.size(), pool);
   std::vector<double> collision_partial(node_runner.NumChunks(), 0.0);
@@ -489,7 +490,8 @@ LocalEstimates EstimateLocalProperties(const SamplingList& list,
   }
   const double num_pairs = CountOrderedPairs(r, m);
   SparseJointDist ie;
-  for (const auto& [key, count] : ie_counts) {
+  for (const std::uint64_t key : SortedKeys(ie_counts)) {
+    const double count = ie_counts.at(key);
     const auto k = static_cast<std::uint32_t>(key >> 32);
     const auto kp = static_cast<std::uint32_t>(key & 0xffffffffu);
     const double phi_kkp = count / (static_cast<double>(k) *
@@ -508,16 +510,14 @@ LocalEstimates EstimateLocalProperties(const SamplingList& list,
     return it == te.end() ? 0.0 : it->second;
   };
   const double threshold = 2.0 * est.average_degree;
-  std::unordered_set<std::uint64_t> keys;
-  for (const auto& [key, value] : te) {
-    (void)value;
-    keys.insert(key);
+  std::vector<std::uint64_t> keys = SortedKeys(te);
+  {
+    const std::vector<std::uint64_t> ie_keys = SortedKeys(ie.values());
+    keys.insert(keys.end(), ie_keys.begin(), ie_keys.end());
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
   }
-  for (const auto& [key, value] : ie.values()) {
-    (void)value;
-    keys.insert(key);
-  }
-  for (std::uint64_t key : keys) {
+  for (const std::uint64_t key : keys) {
     const auto k = static_cast<std::uint32_t>(key >> 32);
     const auto kp = static_cast<std::uint32_t>(key & 0xffffffffu);
     if (k > kp) continue;  // handle each unordered pair once

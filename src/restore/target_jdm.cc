@@ -5,6 +5,8 @@
 #include <cmath>
 #include <limits>
 
+#include "util/sorted_keys.h"
+
 namespace sgr {
 
 namespace {
@@ -15,7 +17,8 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 /// P̂(k,k') > 0, m*(k,k') = max(NearInt(n̂ k̂̄ P̂(k,k')/µ(k,k')), 1).
 JointDegreeMatrix InitializeJdm(const LocalEstimates& est) {
   JointDegreeMatrix m_star;
-  for (const auto& [key, p] : est.joint_dist.values()) {
+  for (const std::uint64_t key : SortedKeys(est.joint_dist.values())) {
+    const double p = est.joint_dist.values().at(key);
     if (p <= 0.0) continue;
     const auto k = static_cast<std::uint32_t>(key >> 32);
     const auto kp = static_cast<std::uint32_t>(key & 0xffffffffu);

@@ -8,6 +8,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "util/sorted_keys.h"
+
 namespace sgr {
 
 namespace {
@@ -21,14 +23,7 @@ void WriteSamplingList(const SamplingList& list, std::ostream& out) {
   for (NodeId v : list.visit_sequence) out << " " << v;
   out << "\n";
   // Deterministic order for diff-friendliness.
-  std::vector<NodeId> queried;
-  queried.reserve(list.neighbors.size());
-  for (const auto& [v, nbrs] : list.neighbors) {
-    (void)nbrs;
-    queried.push_back(v);
-  }
-  std::sort(queried.begin(), queried.end());
-  for (NodeId v : queried) {
+  for (NodeId v : SortedKeys(list.neighbors)) {
     const auto& nbrs = list.neighbors.at(v);
     out << "node " << v << " " << nbrs.size();
     for (NodeId w : nbrs) out << " " << w;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/sorted_keys.h"
+
 namespace sgr {
 
 std::size_t Subgraph::NumQueried() const {
@@ -27,12 +29,12 @@ Subgraph BuildSubgraph(const SamplingList& list) {
   // down, then add each edge of E' exactly once: an edge between two queried
   // nodes appears in both neighbor lists and is added only from the
   // lower-original-id side; an edge to a visible node appears in exactly one
-  // neighbor list.
-  for (const auto& [u, nbrs] : list.neighbors) {
-    (void)nbrs;
-    intern(u, /*queried=*/true);
-  }
-  for (const auto& [u, nbrs] : list.neighbors) {
+  // neighbor list. Both passes run in ascending original-id order so the
+  // compact numbering and edge order are canonical, not hash-layout facts.
+  const std::vector<NodeId> queried = SortedKeys(list.neighbors);
+  for (const NodeId u : queried) intern(u, /*queried=*/true);
+  for (const NodeId u : queried) {
+    const std::vector<NodeId>& nbrs = list.neighbors.at(u);
     const NodeId su = sub.from_original.at(u);
     for (NodeId w : nbrs) {
       const bool w_queried = list.neighbors.count(w) > 0;

@@ -1,0 +1,39 @@
+#ifndef SGR_UTIL_SORTED_KEYS_H_
+#define SGR_UTIL_SORTED_KEYS_H_
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace sgr {
+
+namespace internal {
+// unordered_map yields a pair; unordered_set yields the key itself.
+template <typename K, typename V>
+const K& KeyOf(const std::pair<const K, V>& entry) {
+  return entry.first;
+}
+template <typename K>
+const K& KeyOf(const K& entry) {
+  return entry;
+}
+}  // namespace internal
+
+/// Keys of an associative container in ascending order — THE way to
+/// iterate an unordered_map/unordered_set when anything order-dependent
+/// (id assignment, emission, FP accumulation) hangs off the loop. Central
+/// so the one sanctioned hash-order traversal lives in an audited place
+/// whose output is order-free; a raw range-for over a hash map elsewhere
+/// gets flagged by sgr-check's unordered-iter rule.
+template <typename Map>
+std::vector<typename Map::key_type> SortedKeys(const Map& map) {
+  std::vector<typename Map::key_type> keys;
+  keys.reserve(map.size());
+  for (const auto& entry : map) keys.push_back(internal::KeyOf(entry));
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+}  // namespace sgr
+
+#endif  // SGR_UTIL_SORTED_KEYS_H_

@@ -1,0 +1,52 @@
+// sgr-check — standalone front end for the determinism/concurrency lint
+// pass (util/srccheck). Equivalent to `sgr check`, but builds without the
+// rest of the CLI so CI's static-analysis job can run it first and fast.
+//
+//   sgr_check [paths...] [--baseline FILE]
+//
+// Paths default to `src`; directories are walked recursively for
+// .h/.cc/.hpp/.cpp files. The baseline (default
+// tools/sgr_check_baseline.txt, one `<path>:<rule-id>` per line)
+// grandfathers existing findings; anything not baselined or annotated
+// with `// sgr-check: allow(<rule>) <reason>` exits 1 with
+// `file:line:col: rule-id: message` diagnostics.
+
+#include <exception>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "util/srccheck.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::string baseline_path = "tools/sgr_check_baseline.txt";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--baseline") {
+      if (i + 1 >= argc) {
+        std::cerr << "usage: sgr_check [paths...] [--baseline FILE]\n";
+        return 2;
+      }
+      baseline_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: sgr_check [paths...] [--baseline FILE]\n";
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "sgr_check: unknown flag '" << arg << "'\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) paths.push_back("src");
+  try {
+    const sgr::CheckResult result = sgr::CheckSourceTree(
+        paths, sgr::LoadCheckBaseline(baseline_path));
+    sgr::PrintCheckReport(result, std::cout);
+    return result.Clean() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+}

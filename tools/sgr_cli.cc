@@ -120,6 +120,7 @@
 #include "scenario/engine.h"
 #include "scenario/report.h"
 #include "scenario/spec.h"
+#include "util/srccheck.h"
 
 namespace {
 
@@ -476,6 +477,31 @@ int CmdTrace(int argc, char** argv) {
   return 0;
 }
 
+/// sgr check [paths...] [--baseline FILE]
+int CmdCheck(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::string baseline_path = "tools/sgr_check_baseline.txt";
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--baseline") {
+      if (i + 1 >= argc) {
+        throw std::runtime_error("usage: sgr check [paths...] "
+                                 "[--baseline FILE]");
+      }
+      baseline_path = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      throw std::runtime_error("unknown check flag '" + arg + "'");
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) paths.push_back("src");
+  const CheckResult result =
+      CheckSourceTree(paths, LoadCheckBaseline(baseline_path));
+  PrintCheckReport(result, std::cout);
+  return result.Clean() ? 0 : 1;
+}
+
 /// sgr scenarios list | show <name>
 int CmdScenarios(int argc, char** argv) {
   const std::string verb = argc > 2 ? argv[2] : "list";
@@ -531,7 +557,10 @@ void PrintUsage() {
       "            [--no-timings 1] [--markdown 1]   (exit 1 on\n"
       "            regression)\n"
       "  scenarios list | show NAME\n"
-      "  trace     summarize FILE   (validate + per-span time table)\n";
+      "  trace     summarize FILE   (validate + per-span time table)\n"
+      "  check     [PATHS...] [--baseline FILE]   (determinism lint over\n"
+      "            the source tree; default path src, default baseline\n"
+      "            tools/sgr_check_baseline.txt; exit 1 on violations)\n";
 }
 
 }  // namespace
@@ -562,6 +591,7 @@ int main(int argc, char** argv) {
     }
     if (command == "scenarios") return CmdScenarios(argc, argv);
     if (command == "trace") return CmdTrace(argc, argv);
+    if (command == "check") return CmdCheck(argc, argv);
     Args args(argc, argv, 2);
     if (command == "generate") return CmdGenerate(args);
     if (command == "crawl") return CmdCrawl(args);
