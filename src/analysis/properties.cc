@@ -35,11 +35,12 @@ std::vector<double> NeighborConnectivity(const CsrGraph& g) {
   const std::size_t k_max = g.MaxDegree();
   std::vector<double> sums(k_max + 1, 0.0);
   std::vector<std::size_t> counts(k_max + 1, 0);
+  NeighborCursor cursor(g);
   for (NodeId v = 0; v < g.NumNodes(); ++v) {
     const std::size_t k = g.Degree(v);
     if (k == 0) continue;
     double neighbor_degree_sum = 0.0;
-    for (NodeId w : g.neighbors(v)) {
+    for (NodeId w : cursor.Load(v)) {
       neighbor_degree_sum += static_cast<double>(g.Degree(w));
     }
     sums[k] += neighbor_degree_sum / static_cast<double>(k);
@@ -92,8 +93,13 @@ std::vector<double> EdgewiseSharedPartners(const CsrGraph& g) {
   // against the larger sorted range, then weight the histogram entry by
   // the pair's multiplicity.
   std::vector<std::int64_t> histogram;
+  // Three spans are live at once (u's list plus the probe pair), so each
+  // gets its own cursor — a cursor's span dies on its next Load.
+  NeighborCursor cursor_u(g);
+  NeighborCursor cursor_small(g);
+  NeighborCursor cursor_large(g);
   for (NodeId u = 0; u < g.NumNodes(); ++u) {
-    const NeighborSpan nbrs = g.neighbors(u);
+    const NeighborSpan nbrs = cursor_u.Load(u);
     std::size_t i = 0;
     while (i < nbrs.size()) {
       const NodeId v = nbrs[i];
@@ -103,8 +109,8 @@ std::vector<double> EdgewiseSharedPartners(const CsrGraph& g) {
       if (v <= u) continue;  // handle each pair once; loops never count
       const NodeId small = g.Degree(u) <= g.Degree(v) ? u : v;
       const NodeId large = (small == u) ? v : u;
-      const NeighborSpan sn = g.neighbors(small);
-      const NeighborSpan ln = g.neighbors(large);
+      const NeighborSpan sn = cursor_small.Load(small);
+      const NeighborSpan ln = cursor_large.Load(large);
       std::int64_t shared = 0;
       std::size_t a = 0;
       while (a < sn.size()) {
@@ -159,10 +165,11 @@ double LargestEigenvalue(const CsrGraph& g, std::size_t max_iterations,
   // oscillates). λ1(A) = λ1(A + I) - 1.
   std::vector<double> y(n, 0.0);
   double lambda_shifted = 0.0;
+  NeighborCursor cursor(g);
   for (std::size_t iter = 0; iter < max_iterations; ++iter) {
     for (NodeId v = 0; v < n; ++v) {
       double acc = x[v];
-      for (NodeId w : g.neighbors(v)) acc += x[w];
+      for (NodeId w : cursor.Load(v)) acc += x[w];
       y[v] = acc;
     }
     const double rayleigh =
@@ -195,6 +202,7 @@ CsrGraph SimplifiedLccCsr(const CsrGraph& g) {
   std::vector<std::size_t> sizes;
   std::vector<NodeId> queue;
   queue.reserve(n);
+  NeighborCursor cursor(g);
   for (NodeId start = 0; start < n; ++start) {
     if (component_of[start] != kUnvisited) continue;
     const std::size_t comp = sizes.size();
@@ -205,7 +213,7 @@ CsrGraph SimplifiedLccCsr(const CsrGraph& g) {
     for (std::size_t head = 0; head < queue.size(); ++head) {
       const NodeId v = queue[head];
       ++sizes[comp];
-      for (NodeId w : g.neighbors(v)) {
+      for (NodeId w : cursor.Load(v)) {
         if (component_of[w] == kUnvisited) {
           component_of[w] = comp;
           queue.push_back(w);
@@ -234,7 +242,7 @@ CsrGraph SimplifiedLccCsr(const CsrGraph& g) {
   std::vector<NodeId> neighbors;
   for (std::size_t idx = 0; idx < members.size(); ++idx) {
     const NodeId v = members[idx];
-    const NeighborSpan nbrs = g.neighbors(v);
+    const NeighborSpan nbrs = cursor.Load(v);
     std::size_t i = 0;
     while (i < nbrs.size()) {
       const NodeId w = nbrs[i];
@@ -244,13 +252,21 @@ CsrGraph SimplifiedLccCsr(const CsrGraph& g) {
     }
     offsets[idx + 1] = neighbors.size();
   }
-  return CsrGraph::FromAdjacency(std::move(offsets), std::move(neighbors));
+  CsrGraph lcc =
+      CsrGraph::FromAdjacency(std::move(offsets), std::move(neighbors));
+  // A compressed input signals a paper-scale run: keep the working copy
+  // compressed too, so the shortest-path phase doesn't silently double
+  // the resident neighbor storage.
+  if (g.compressed()) lcc.Compress();
+  return lcc;
 }
 
 /// One Brandes pass from `source` over a connected simple graph: fills
 /// `distance` and accumulates dependencies into `betweenness`, and the
-/// per-distance pair counts into `length_histogram`.
-void BrandesPass(const CsrGraph& g, NodeId source,
+/// per-distance pair counts into `length_histogram`. `cursor` is the
+/// caller's (per-worker) reader over `g`, so the pass works on compressed
+/// snapshots too.
+void BrandesPass(const CsrGraph& g, NeighborCursor& cursor, NodeId source,
                  std::vector<double>& betweenness,
                  std::vector<std::int64_t>& length_histogram,
                  double& distance_sum, std::size_t& eccentricity,
@@ -270,7 +286,7 @@ void BrandesPass(const CsrGraph& g, NodeId source,
     const NodeId v = frontier.front();
     frontier.pop();
     order.push_back(v);
-    for (NodeId w : g.neighbors(v)) {
+    for (NodeId w : cursor.Load(v)) {
       if (distance[w] < 0) {
         distance[w] = distance[v] + 1;
         frontier.push(w);
@@ -290,7 +306,7 @@ void BrandesPass(const CsrGraph& g, NodeId source,
   // Dependency accumulation in reverse BFS order.
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const NodeId w = *it;
-    for (NodeId v : g.neighbors(w)) {
+    for (NodeId v : cursor.Load(w)) {
       if (distance[v] == distance[w] - 1) {
         delta[v] += sigma[v] / sigma[w] * (1.0 + delta[w]);
       }
@@ -310,11 +326,12 @@ std::vector<double> BetweennessCentrality(const Graph& g) {
   std::vector<double> sigma(n), delta(n);
   std::vector<NodeId> order;
   order.reserve(n);
+  NeighborCursor cursor(csr);
   double distance_sum = 0.0;
   std::size_t ecc = 0;
   for (NodeId s = 0; s < n; ++s) {
-    BrandesPass(csr, s, betweenness, hist, distance_sum, ecc, distance,
-                sigma, delta, order);
+    BrandesPass(csr, cursor, s, betweenness, hist, distance_sum, ecc,
+                distance, sigma, delta, order);
   }
   return betweenness;
 }
@@ -373,9 +390,10 @@ ShortestPathProperties ComputeShortestPathProperties(
         std::vector<double> sigma(n), delta(n);
         std::vector<NodeId> order;
         order.reserve(n);
+        NeighborCursor cursor(lcc);  // per-worker: cursors are not shared
         for (std::size_t i = t; i < sources.size(); i += num_threads) {
           std::size_t ecc = 0;
-          BrandesPass(lcc, sources[i], w.betweenness, w.hist,
+          BrandesPass(lcc, cursor, sources[i], w.betweenness, w.hist,
                       w.distance_sum, ecc, distance, sigma, delta, order);
           w.diameter = std::max(w.diameter, ecc);
         }

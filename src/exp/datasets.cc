@@ -1,15 +1,100 @@
 #include "exp/datasets.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "graph/components.h"
+#include "graph/edge_list_reader.h"
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "util/rng.h"
 
 namespace sgr {
+
+namespace {
+
+/// Resolves the effective synthetic scale: a nonzero override wins,
+/// otherwise $SGR_DATASET_SCALE. The env value is validated strictly —
+/// strtod with an unchecked end pointer used to accept "1.x5" as 1.0 and
+/// "nan" as NaN, silently running a differently-sized experiment than the
+/// user asked for.
+double ResolveScale(double scale_override) {
+  if (scale_override > 0.0) return scale_override;
+  const char* env = std::getenv("SGR_DATASET_SCALE");
+  if (env == nullptr || *env == '\0') return 1.0;
+  char* end = nullptr;
+  const double scale = std::strtod(env, &end);
+  if (end == env || *end != '\0' || !std::isfinite(scale) || scale <= 0.0) {
+    throw std::runtime_error(
+        "SGR_DATASET_SCALE='" + std::string(env) +
+        "' is not a finite positive number");
+  }
+  return scale;
+}
+
+/// Scaled synthetic node count; rejects a scale small enough to round the
+/// graph away entirely (the generator would otherwise emit an empty graph
+/// and downstream property code would divide by zero).
+std::size_t ScaledNodeCount(const DatasetSpec& spec, double scale) {
+  const auto n = static_cast<std::size_t>(
+      static_cast<double>(spec.num_nodes) * scale);
+  if (n == 0) {
+    throw std::runtime_error(
+        "dataset '" + spec.name + "': scale " + std::to_string(scale) +
+        " rounds the node count to zero");
+  }
+  return n;
+}
+
+/// Path of the dataset's edge list if $SGR_DATASET_DIR is set. The file
+/// must then exist: a missing file is a hard error naming the resolved
+/// path — never a silent fall-back to the synthetic generator.
+std::optional<std::string> ResolveDatasetFile(const DatasetSpec& spec) {
+  const char* dir = std::getenv("SGR_DATASET_DIR");
+  if (dir == nullptr) return std::nullopt;
+  const std::filesystem::path path =
+      std::filesystem::path(dir) / (spec.name + ".txt");
+  if (!std::filesystem::exists(path)) {
+    throw std::runtime_error(
+        "SGR_DATASET_DIR is set but '" + path.string() +
+        "' does not exist; refusing to silently substitute a synthetic "
+        "graph for dataset '" + spec.name + "'");
+  }
+  return path.string();
+}
+
+Graph GenerateDataset(const DatasetSpec& spec, double scale) {
+  Rng rng(spec.seed);
+  return GenerateSocialGraph(ScaledNodeCount(spec, scale),
+                             spec.edges_per_node, spec.triad_probability,
+                             spec.fringe_fraction, rng);
+}
+
+IngestOptions IngestOptionsFromEnv() {
+  IngestOptions options;
+  if (const char* cache = std::getenv("SGR_SNAPSHOT_CACHE")) {
+    options.cache_dir = cache;
+  }
+  if (const char* threads = std::getenv("SGR_INGEST_THREADS")) {
+    options.threads = static_cast<std::size_t>(
+        std::strtoull(threads, nullptr, 10));
+  }
+  if (const char* compress = std::getenv("SGR_CSR_COMPRESS")) {
+    const std::string value(compress);
+    if (value == "0") {
+      options.compress = IngestOptions::Compress::kOff;
+    } else if (value == "1") {
+      options.compress = IngestOptions::Compress::kOn;
+    }
+  }
+  return options;
+}
+
+}  // namespace
 
 std::vector<DatasetSpec> StandardDatasets() {
   // Synthetic sizes are scaled-down echoes of Table I: the relative order
@@ -45,28 +130,35 @@ DatasetSpec DatasetByName(const std::string& name) {
 }
 
 Graph LoadDataset(const DatasetSpec& spec, double scale_override) {
-  if (const char* dir = std::getenv("SGR_DATASET_DIR")) {
-    const std::filesystem::path path =
-        std::filesystem::path(dir) / (spec.name + ".txt");
-    if (std::filesystem::exists(path)) {
-      return PreprocessDataset(ReadEdgeListFile(path.string()));
-    }
+  if (const std::optional<std::string> file = ResolveDatasetFile(spec)) {
+    return PreprocessDataset(ReadEdgeListFile(*file));
   }
-  double scale = scale_override;
-  if (scale <= 0.0) {
-    scale = 1.0;
-    if (const char* env = std::getenv("SGR_DATASET_SCALE")) {
-      scale = std::strtod(env, nullptr);
-      if (scale <= 0.0) scale = 1.0;
+  return PreprocessDataset(
+      GenerateDataset(spec, ResolveScale(scale_override)));
+}
+
+CsrGraph LoadDatasetCsr(const DatasetSpec& spec, double scale_override,
+                        DatasetProvenance* provenance) {
+  if (const std::optional<std::string> file = ResolveDatasetFile(spec)) {
+    IngestResult ingested = IngestEdgeListFile(*file, IngestOptionsFromEnv());
+    if (provenance != nullptr) {
+      provenance->name = spec.name;
+      provenance->source = "file";
+      provenance->path = *file;
+      provenance->content_hash = HashToHex(ingested.content_hash);
+      provenance->scale = 1.0;
     }
+    return std::move(ingested.graph);
   }
-  const auto n = static_cast<std::size_t>(
-      static_cast<double>(spec.num_nodes) * scale);
-  Rng rng(spec.seed);
-  Graph g = GenerateSocialGraph(n, spec.edges_per_node,
-                                spec.triad_probability,
-                                spec.fringe_fraction, rng);
-  return PreprocessDataset(g);
+  const double scale = ResolveScale(scale_override);
+  if (provenance != nullptr) {
+    provenance->name = spec.name;
+    provenance->source = "generator";
+    provenance->path.clear();
+    provenance->content_hash.clear();
+    provenance->scale = scale;
+  }
+  return CsrGraph(PreprocessDataset(GenerateDataset(spec, scale)));
 }
 
 }  // namespace sgr

@@ -270,6 +270,14 @@ std::vector<std::vector<MethodRunResult>> RunExperiments(
     const ExperimentConfig& config, std::uint64_t seed_base,
     std::size_t num_trials, std::size_t threads) {
   const CsrGraph snapshot(original);
+  return RunExperiments(snapshot, original_properties, config, seed_base,
+                        num_trials, threads);
+}
+
+std::vector<std::vector<MethodRunResult>> RunExperiments(
+    const CsrGraph& snapshot, const GraphProperties& original_properties,
+    const ExperimentConfig& config, std::uint64_t seed_base,
+    std::size_t num_trials, std::size_t threads) {
   std::vector<std::vector<MethodRunResult>> trials(num_trials);
   ParallelFor(num_trials, threads, [&](std::size_t i) {
     trials[i] = RunExperimentImpl(snapshot, original_properties, config,

@@ -155,6 +155,15 @@ std::vector<std::vector<MethodRunResult>> RunExperiments(
     const ExperimentConfig& config, std::uint64_t seed_base,
     std::size_t num_trials, std::size_t threads = 1);
 
+/// Same, against a caller-provided snapshot (possibly compressed): the
+/// scenario engine materializes datasets as CsrGraph directly — no
+/// intermediate Graph at paper scale — and the Graph overload above
+/// produces byte-identical trials by delegating here after snapshotting.
+std::vector<std::vector<MethodRunResult>> RunExperiments(
+    const CsrGraph& snapshot, const GraphProperties& original_properties,
+    const ExperimentConfig& config, std::uint64_t seed_base,
+    std::size_t num_trials, std::size_t threads = 1);
+
 /// Reads a double from environment variable `name`, or `fallback` if the
 /// variable is unset/invalid. Used by benches for RC / runs / fraction
 /// overrides (e.g. SGR_RC, SGR_RUNS).

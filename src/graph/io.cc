@@ -21,6 +21,7 @@ Graph ReadEdgeList(std::istream& in) {
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
     ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF
     if (line.empty() || line[0] == '#' || line[0] == '%') continue;
     std::istringstream fields(line);
     long long raw_u = 0;
@@ -28,6 +29,15 @@ Graph ReadEdgeList(std::istream& in) {
     if (!(fields >> raw_u >> raw_v) || raw_u < 0 || raw_v < 0) {
       throw std::runtime_error("ReadEdgeList: malformed line " +
                                std::to_string(line_no) + ": '" + line + "'");
+    }
+    // A third column means a weighted/temporal file this unweighted
+    // reader would silently misread — reject instead of dropping it.
+    std::string trailing;
+    if (fields >> trailing) {
+      throw std::runtime_error(
+          "ReadEdgeList: trailing token '" + trailing + "' on line " +
+          std::to_string(line_no) + ": '" + line +
+          "' (weighted/temporal edge lists are not supported)");
     }
     // Sequence the interning explicitly: first-appearance numbering must
     // not depend on argument evaluation order.
@@ -57,6 +67,43 @@ void WriteEdgeListFile(const Graph& g, const std::string& path) {
     throw std::runtime_error("WriteEdgeListFile: cannot open '" + path + "'");
   }
   WriteEdgeList(g, out);
+}
+
+void WriteCanonicalEdgeList(const CsrGraph& g, std::ostream& out) {
+  out << "# sgr-canonical 1\n";
+  out << "# nodes " << g.NumNodes() << " edges " << g.NumEdges() << "\n";
+  NeighborCursor cursor(g);
+  for (NodeId v = 0; v < g.NumNodes(); ++v) {
+    const NeighborSpan nbrs = cursor.Load(v);
+    std::size_t i = 0;
+    while (i < nbrs.size()) {
+      const NodeId w = nbrs[i];
+      std::size_t run = 1;
+      while (i + run < nbrs.size() && nbrs[i + run] == w) ++run;
+      i += run;
+      if (w < v) continue;  // each edge once, off the lower endpoint
+      // A loop contributes two doubled entries per copy — emit one line
+      // per copy, so the round trip preserves multiplicity exactly.
+      const std::size_t copies = (w == v) ? run / 2 : run;
+      for (std::size_t c = 0; c < copies; ++c) {
+        out << v << " " << w << "\n";
+      }
+    }
+  }
+}
+
+void WriteCanonicalEdgeListFile(const CsrGraph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("WriteCanonicalEdgeListFile: cannot open '" +
+                             path + "'");
+  }
+  WriteCanonicalEdgeList(g, out);
+  out.flush();
+  if (!out) {
+    throw std::runtime_error("WriteCanonicalEdgeListFile: write to '" +
+                             path + "' failed");
+  }
 }
 
 void WriteGexf(const Graph& g, std::ostream& out) {

@@ -4,6 +4,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "graph/csr_graph.h"
 #include "graph/graph.h"
 
 namespace sgr {
@@ -17,7 +18,10 @@ namespace sgr {
 
 /// Reads an edge list from `in`. Node ids may be arbitrary non-negative
 /// integers; they are densely renumbered in first-appearance order.
-/// Throws std::runtime_error on malformed input.
+/// Throws std::runtime_error on malformed input — including an edge line
+/// with trailing tokens ("1 2 3"): a third column means a weighted or
+/// temporal file this unweighted reader would silently misread, so it is
+/// rejected rather than dropped. Lines may end in CRLF.
 Graph ReadEdgeList(std::istream& in);
 
 /// Reads an edge list from the file at `path`.
@@ -29,6 +33,22 @@ void WriteEdgeList(const Graph& g, std::ostream& out);
 
 /// Writes `g` as an edge list to the file at `path`.
 void WriteEdgeListFile(const Graph& g, const std::string& path);
+
+/// Writes `g` in the *canonical* edge-list form understood by the
+/// out-of-core ingester (graph/edge_list_reader.h): a `# sgr-canonical 1`
+/// marker, a `# nodes N edges M` header, then one `u v` line per edge
+/// with u <= v, emitted in ascending (u, v) order straight off the CSR
+/// ranges. The marker declares that ids are already dense [0, N) — the
+/// ingester preserves them verbatim instead of renumbering by first
+/// appearance, which is what makes export -> re-ingest an exact identity
+/// (first-appearance renumbering alone cannot reproduce arbitrary id
+/// assignments; e.g. the edge set {0-2, 1-2} admits no edge order whose
+/// first appearances are 0, 1, 2). Loops are emitted once per loop,
+/// parallel edges once per copy.
+void WriteCanonicalEdgeList(const CsrGraph& g, std::ostream& out);
+
+/// Writes the canonical form to the file at `path`.
+void WriteCanonicalEdgeListFile(const CsrGraph& g, const std::string& path);
 
 /// Writes `g` in GEXF 1.2 format with node degrees exported as a
 /// visualization attribute (size by degree reproduces the look of Fig. 4

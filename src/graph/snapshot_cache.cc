@@ -1,0 +1,193 @@
+#include "graph/snapshot_cache.h"
+
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/edge_list_reader.h"
+
+namespace sgr {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'G', 'R', 'S', 'N', 'A', 'P', '1'};
+constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+static_assert(sizeof(std::size_t) == 8,
+              "snapshot format assumes 64-bit size_t offsets");
+static_assert(sizeof(NodeId) == 4, "snapshot format assumes 32-bit NodeId");
+
+inline void FnvMixBytes(std::uint64_t& h, const void* data, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+/// Fixed-size header after the magic: node count, total degree, then the
+/// ingest stats a cache hit must still be able to report.
+struct SnapshotHeader {
+  std::uint64_t num_nodes = 0;
+  std::uint64_t total_degree = 0;
+  std::uint64_t file_bytes = 0;
+  std::uint64_t edge_lines = 0;
+  std::uint64_t raw_nodes = 0;
+  std::uint64_t self_loops_dropped = 0;
+  std::uint64_t parallel_edges_collapsed = 0;
+  std::uint64_t lcc_nodes = 0;
+  std::uint64_t lcc_edges = 0;
+  std::uint64_t flags = 0;  // bit 0: canonical, bit 1: spilled
+};
+
+bool WarnCorrupt(const std::string& path, const char* what) {
+  std::cerr << "warning: snapshot cache entry '" << path << "' is corrupt ("
+            << what << "); rebuilding from the source file\n";
+  return false;
+}
+
+}  // namespace
+
+std::string SnapshotCachePath(const std::string& cache_dir,
+                              std::uint64_t key_hash) {
+  return (std::filesystem::path(cache_dir) /
+          ("sgr-snap-" + HashToHex(key_hash) + ".bin"))
+      .string();
+}
+
+bool LoadCsrSnapshot(const std::string& path, CsrGraph* graph,
+                     IngestStats* stats) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;  // plain miss: no warning
+
+  std::uint64_t checksum = kFnvOffset;
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return WarnCorrupt(path, "bad magic");
+  }
+  FnvMixBytes(checksum, magic, sizeof(magic));
+
+  SnapshotHeader header;
+  in.read(reinterpret_cast<char*>(&header), sizeof(header));
+  if (!in) return WarnCorrupt(path, "truncated header");
+  FnvMixBytes(checksum, &header, sizeof(header));
+
+  // Validate the declared sizes against the actual file length before
+  // allocating anything — a corrupt header must not drive allocation.
+  std::error_code ec;
+  const auto file_size =
+      static_cast<std::uint64_t>(std::filesystem::file_size(path, ec));
+  const std::uint64_t expected = sizeof(kMagic) + sizeof(header) +
+                                 (header.num_nodes + 1) * 8 +
+                                 header.total_degree * 4 + 8;
+  if (ec || file_size != expected) {
+    return WarnCorrupt(path, "size mismatch");
+  }
+
+  std::vector<std::size_t> offsets(header.num_nodes + 1);
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>(offsets.size() * sizeof(std::size_t)));
+  if (!in) return WarnCorrupt(path, "truncated offsets");
+  FnvMixBytes(checksum, offsets.data(), offsets.size() * sizeof(std::size_t));
+
+  std::vector<NodeId> neighbors(header.total_degree);
+  in.read(reinterpret_cast<char*>(neighbors.data()),
+          static_cast<std::streamsize>(neighbors.size() * sizeof(NodeId)));
+  if (!in) return WarnCorrupt(path, "truncated neighbors");
+  FnvMixBytes(checksum, neighbors.data(), neighbors.size() * sizeof(NodeId));
+
+  std::uint64_t stored_checksum = 0;
+  in.read(reinterpret_cast<char*>(&stored_checksum), sizeof(stored_checksum));
+  if (!in || stored_checksum != checksum) {
+    return WarnCorrupt(path, "checksum mismatch");
+  }
+  if (offsets.back() != header.total_degree) {
+    return WarnCorrupt(path, "inconsistent offsets");
+  }
+
+  *graph = CsrGraph::FromAdjacency(std::move(offsets), std::move(neighbors));
+  *stats = IngestStats{};
+  stats->file_bytes = header.file_bytes;
+  stats->edge_lines = header.edge_lines;
+  stats->raw_nodes = header.raw_nodes;
+  stats->self_loops_dropped = header.self_loops_dropped;
+  stats->parallel_edges_collapsed = header.parallel_edges_collapsed;
+  stats->lcc_nodes = header.lcc_nodes;
+  stats->lcc_edges = header.lcc_edges;
+  stats->canonical = (header.flags & 1u) != 0;
+  stats->spilled = (header.flags & 2u) != 0;
+  return true;
+}
+
+void SaveCsrSnapshot(const std::string& path, const CsrGraph& graph,
+                     const IngestStats& stats) {
+  namespace fs = std::filesystem;
+  const fs::path target(path);
+  if (target.has_parent_path()) {
+    std::error_code ec;
+    fs::create_directories(target.parent_path(), ec);
+  }
+  // pid + stack address uniquify the temp name across concurrent savers;
+  // the final rename is atomic, so the last writer wins cleanly.
+  SnapshotHeader header;
+  const fs::path tmp =
+      target.string() + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(reinterpret_cast<std::uintptr_t>(&header));
+
+  const std::vector<std::size_t>& offsets = graph.raw_offsets();
+  const std::vector<NodeId>& neighbors = graph.raw_neighbors();
+  header.num_nodes = graph.NumNodes();
+  header.total_degree = graph.TotalDegree();
+  header.file_bytes = stats.file_bytes;
+  header.edge_lines = stats.edge_lines;
+  header.raw_nodes = stats.raw_nodes;
+  header.self_loops_dropped = stats.self_loops_dropped;
+  header.parallel_edges_collapsed = stats.parallel_edges_collapsed;
+  header.lcc_nodes = stats.lcc_nodes;
+  header.lcc_edges = stats.lcc_edges;
+  header.flags = (stats.canonical ? 1u : 0u) | (stats.spilled ? 2u : 0u);
+
+  std::uint64_t checksum = kFnvOffset;
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      throw std::runtime_error("SaveCsrSnapshot: cannot create '" +
+                               tmp.string() + "'");
+    }
+    const auto write_block = [&](const void* data, std::size_t len) {
+      out.write(static_cast<const char*>(data),
+                static_cast<std::streamsize>(len));
+      FnvMixBytes(checksum, data, len);
+    };
+    write_block(kMagic, sizeof(kMagic));
+    write_block(&header, sizeof(header));
+    write_block(offsets.data(), offsets.size() * sizeof(std::size_t));
+    write_block(neighbors.data(), neighbors.size() * sizeof(NodeId));
+    out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+    out.flush();
+    if (!out) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      throw std::runtime_error("SaveCsrSnapshot: write to '" + tmp.string() +
+                               "' failed (disk full?)");
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    std::error_code rm_ec;
+    fs::remove(tmp, rm_ec);
+    throw std::runtime_error("SaveCsrSnapshot: cannot rename '" +
+                             tmp.string() + "' to '" + path +
+                             "': " + ec.message());
+  }
+}
+
+}  // namespace sgr

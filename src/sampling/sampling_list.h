@@ -1,6 +1,7 @@
 #ifndef SGR_SAMPLING_SAMPLING_LIST_H_
 #define SGR_SAMPLING_SAMPLING_LIST_H_
 
+#include <array>
 #include <cstddef>
 #include <unordered_map>
 #include <unordered_set>
@@ -42,8 +43,17 @@ class QueryOracle {
   /// therefore copy what they keep and tolerate empty results.
   virtual NeighborSpan Query(NodeId v) {
     if (queried_.insert(v).second) ++unique_queries_;
-    return graph_ != nullptr ? NeighborSpan(graph_->adjacency(v))
-                             : csr_->neighbors(v);
+    if (graph_ != nullptr) return NeighborSpan(graph_->adjacency(v));
+    if (!csr_->compressed()) return csr_->neighbors(v);
+    // Compressed snapshot: decode into a two-slot ring, so the span stays
+    // valid until the second-next Query — exactly the documented contract
+    // (crawlers hold at most the current and previous answer).
+    std::vector<NodeId>& slot = decode_ring_[ring_slot_];
+    ring_slot_ ^= 1u;
+    const std::size_t d = csr_->Degree(v);
+    if (slot.size() < d) slot.resize(d);
+    csr_->DecodeNeighbors(v, slot.data());
+    return NeighborSpan(slot.data(), d);
   }
 
   /// Number of distinct nodes queried so far.
@@ -61,6 +71,10 @@ class QueryOracle {
   const CsrGraph* csr_ = nullptr;
   std::unordered_set<NodeId> queried_;
   std::size_t unique_queries_ = 0;
+  /// Scratch for compressed-snapshot decoding (see Query). Grow-only, so
+  /// steady-state crawling allocates nothing.
+  std::array<std::vector<NodeId>, 2> decode_ring_;
+  std::size_t ring_slot_ = 0;
 };
 
 /// Walk crawlers treat an empty query result as a failed move: the walker

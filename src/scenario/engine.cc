@@ -12,15 +12,40 @@ namespace sgr {
 
 namespace {
 
-Graph Materialize(const ScenarioDataset& dataset, double dataset_scale) {
-  if (dataset.generator) return BuildGeneratorGraph(*dataset.generator);
-  return LoadDataset(DatasetByName(dataset.name), dataset_scale);
+/// Materializes a scenario dataset as an immutable CSR snapshot — the
+/// form every trial consumes. Registry datasets route through
+/// LoadDatasetCsr: file-backed ones use the out-of-core ingester and
+/// never build an intermediate Graph (the paper-scale path), generator
+/// ones produce the identical snapshot the old Graph path did.
+CsrGraph Materialize(const ScenarioDataset& dataset, double dataset_scale,
+                     DatasetProvenance* provenance) {
+  if (dataset.generator) {
+    provenance->name = dataset.name;
+    provenance->source = "generator";
+    provenance->scale = 1.0;  // generator specs carry explicit sizes
+    return CsrGraph(BuildGeneratorGraph(*dataset.generator));
+  }
+  return LoadDatasetCsr(DatasetByName(dataset.name), dataset_scale,
+                        provenance);
 }
 
 }  // namespace
 
 ScenarioCell RunScenarioCell(const std::string& dataset_name,
                              const Graph& dataset,
+                             const GraphProperties& properties,
+                             const ExperimentConfig& config,
+                             std::size_t trials, std::uint64_t seed_base,
+                             std::size_t threads) {
+  // Snapshot once and delegate: byte-identical to the historical inline
+  // body, which also snapshotted per RunExperiments call.
+  const CsrGraph snapshot(dataset);
+  return RunScenarioCell(dataset_name, snapshot, properties, config, trials,
+                         seed_base, threads);
+}
+
+ScenarioCell RunScenarioCell(const std::string& dataset_name,
+                             const CsrGraph& dataset,
                              const GraphProperties& properties,
                              const ExperimentConfig& config,
                              std::size_t trials, std::uint64_t seed_base,
@@ -173,7 +198,10 @@ ScenarioRunResult RunScenario(const ScenarioSpec& spec,
   const std::vector<CellKnobs> knob_matrix = spec.ExpandKnobs();
   std::size_t cell_index = 0;
   for (const ScenarioDataset& dataset_spec : spec.datasets) {
-    const Graph dataset = Materialize(dataset_spec, spec.dataset_scale);
+    DatasetProvenance provenance;
+    const CsrGraph dataset =
+        Materialize(dataset_spec, spec.dataset_scale, &provenance);
+    result.datasets.push_back(provenance);
     // Properties of the original depend on the dataset and the evaluation
     // options only — compute once, share across the knob sweep.
     const GraphProperties properties = ComputeProperties(
@@ -232,11 +260,12 @@ Json ScenarioReportToJson(const ScenarioRunResult& result) {
   for (const ScenarioCell& cell : result.cells) {
     cells.Push(ScenarioCellToJson(cell));
   }
+  RunEnvironment environment =
+      CaptureEnvironment(result.threads, result.rewire_threads,
+                         result.assembly_threads, result.estimator_threads);
+  environment.datasets = result.datasets;
   return MakeReport("sgr run", result.spec.ToJson(), std::move(cells),
-                    CaptureEnvironment(result.threads,
-                                       result.rewire_threads,
-                                       result.assembly_threads,
-                                       result.estimator_threads));
+                    environment);
 }
 
 }  // namespace sgr

@@ -38,6 +38,17 @@ ScenarioCell RunScenarioCell(const std::string& dataset_name,
                              std::size_t trials, std::uint64_t seed_base,
                              std::size_t threads);
 
+/// Same, against an existing (possibly compressed) CSR snapshot — the
+/// engine's own path: datasets are materialized as CsrGraph directly, so
+/// file-ingested paper-scale graphs never exist in Graph form. The Graph
+/// overload above delegates here after snapshotting, byte-identically.
+ScenarioCell RunScenarioCell(const std::string& dataset_name,
+                             const CsrGraph& dataset,
+                             const GraphProperties& properties,
+                             const ExperimentConfig& config,
+                             std::size_t trials, std::uint64_t seed_base,
+                             std::size_t threads);
+
 /// Result of running a whole scenario: the spec as executed, the resolved
 /// worker thread count, and one cell per (dataset, fraction) pair in
 /// spec order.
@@ -54,6 +65,11 @@ struct ScenarioRunResult {
   std::size_t assembly_threads = 1;
   /// Resolved estimator-pass worker count. Volatile, like rewire_threads.
   std::size_t estimator_threads = 1;
+  /// Where each dataset actually came from (file vs generator), in spec
+  /// order. Echoed into the report's environment block — volatile, since
+  /// the same spec legitimately runs on real data on one machine and the
+  /// synthetic stand-in on another.
+  std::vector<DatasetProvenance> datasets;
   std::vector<ScenarioCell> cells;
 };
 

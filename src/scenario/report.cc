@@ -45,6 +45,21 @@ Json EnvironmentToJson(const RunEnvironment& environment) {
                static_cast<double>(environment.hardware_concurrency)));
   json.Set("compiler", Json::String(environment.compiler));
   json.Set("build", Json::String(environment.build));
+  if (!environment.datasets.empty()) {
+    Json datasets = Json::Array();
+    for (const DatasetProvenance& p : environment.datasets) {
+      Json entry = Json::Object();
+      entry.Set("name", Json::String(p.name));
+      entry.Set("source", Json::String(p.source));
+      if (!p.path.empty()) entry.Set("path", Json::String(p.path));
+      if (!p.content_hash.empty()) {
+        entry.Set("content_hash", Json::String(p.content_hash));
+      }
+      entry.Set("scale", Json::Number(p.scale));
+      datasets.Push(std::move(entry));
+    }
+    json.Set("datasets", std::move(datasets));
+  }
   return json;
 }
 

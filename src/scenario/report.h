@@ -8,6 +8,7 @@
 
 #include "analysis/summary.h"
 #include "estimation/estimators.h"
+#include "exp/datasets.h"
 #include "exp/runner.h"
 #include "restore/method.h"
 #include "util/json.h"
@@ -113,6 +114,13 @@ struct RunEnvironment {
   std::size_t hardware_concurrency = 0;
   std::string compiler;                  ///< __VERSION__
   std::string build;                     ///< "Release" / "Debug" (NDEBUG)
+  /// Data-source record of every dataset the run materialized (file vs
+  /// generator, resolved path, content hash) — see DatasetProvenance.
+  /// Lives in the environment block because the source can legitimately
+  /// differ between machines ($SGR_DATASET_DIR) without changing the
+  /// deterministic report content; an empty vector emits nothing, so
+  /// reports from callers that never load datasets keep their layout.
+  std::vector<DatasetProvenance> datasets;
 };
 
 /// Captures the current process environment; `threads` is the resolved

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 
 #include "graph/components.h"
+#include "graph/edge_list_reader.h"
 
 namespace sgr {
 namespace {
@@ -70,6 +73,94 @@ TEST(DatasetsTest, GenerationIsDeterministic) {
     EXPECT_EQ(a.edge(e).u, b.edge(e).u);
     EXPECT_EQ(a.edge(e).v, b.edge(e).v);
   }
+}
+
+TEST(DatasetsTest, MissingDatasetFileFailsLoudly) {
+  // Regression: a set SGR_DATASET_DIR with a missing file used to fall
+  // back silently to the synthetic generator — experiments claiming to
+  // run on real data were running on stand-ins. Now it is a hard error
+  // naming the resolved path.
+  const std::string dir =
+      ::testing::TempDir() + "sgr-empty-dataset-dir";
+  std::filesystem::create_directories(dir);
+  setenv("SGR_DATASET_DIR", dir.c_str(), 1);
+  const DatasetSpec spec = DatasetByName("anybeat");
+  try {
+    (void)LoadDataset(spec);
+    unsetenv("SGR_DATASET_DIR");
+    FAIL() << "expected std::runtime_error";
+  } catch (const std::runtime_error& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("anybeat.txt"), std::string::npos) << message;
+    EXPECT_NE(message.find("refusing"), std::string::npos) << message;
+  }
+  EXPECT_THROW((void)LoadDatasetCsr(spec), std::runtime_error);
+  unsetenv("SGR_DATASET_DIR");
+}
+
+TEST(DatasetsTest, MalformedScaleRejected) {
+  // Regression: strtod's result used to be taken without checking the end
+  // pointer, so "0.x5" ran at scale 0 and "nan" at NaN. Every malformed,
+  // non-finite, or non-positive value must now throw.
+  unsetenv("SGR_DATASET_DIR");
+  const DatasetSpec spec = DatasetByName("anybeat");
+  for (const char* bad :
+       {"0.x5", "abc", "1.5extra", "inf", "-inf", "nan", "0", "-1", " "}) {
+    setenv("SGR_DATASET_SCALE", bad, 1);
+    EXPECT_THROW((void)LoadDataset(spec), std::runtime_error) << bad;
+    EXPECT_THROW((void)LoadDatasetCsr(spec), std::runtime_error) << bad;
+  }
+  unsetenv("SGR_DATASET_SCALE");
+}
+
+TEST(DatasetsTest, ScaleRoundingNodeCountToZeroRejected) {
+  unsetenv("SGR_DATASET_DIR");
+  const DatasetSpec spec = DatasetByName("anybeat");  // 3000 nodes
+  setenv("SGR_DATASET_SCALE", "0.0000001", 1);
+  EXPECT_THROW((void)LoadDataset(spec), std::runtime_error);
+  unsetenv("SGR_DATASET_SCALE");
+  // The explicit override takes the same validation path.
+  EXPECT_THROW((void)LoadDataset(spec, 0.0000001), std::runtime_error);
+}
+
+TEST(DatasetsTest, LoadDatasetCsrMatchesGraphPathForGenerator) {
+  unsetenv("SGR_DATASET_DIR");
+  unsetenv("SGR_DATASET_SCALE");
+  const DatasetSpec spec = DatasetByName("anybeat");
+  DatasetProvenance provenance;
+  const CsrGraph direct = LoadDatasetCsr(spec, 0.2, &provenance);
+  const CsrGraph via_graph(LoadDataset(spec, 0.2));
+  EXPECT_EQ(direct.raw_offsets(), via_graph.raw_offsets());
+  EXPECT_EQ(direct.raw_neighbors(), via_graph.raw_neighbors());
+  EXPECT_EQ(provenance.name, "anybeat");
+  EXPECT_EQ(provenance.source, "generator");
+  EXPECT_TRUE(provenance.path.empty());
+  EXPECT_TRUE(provenance.content_hash.empty());
+  EXPECT_DOUBLE_EQ(provenance.scale, 0.2);
+}
+
+TEST(DatasetsTest, FileBackedLoadRecordsProvenanceAndMatchesReference) {
+  const std::string dir = ::testing::TempDir() + "sgr-dataset-dir";
+  std::filesystem::create_directories(dir);
+  const std::string file = dir + "/anybeat.txt";
+  {
+    std::ofstream out(file);
+    out << "# tiny stand-in\n0 1\n1 2\n2 0\n2 3\n9 9\n";
+  }
+  setenv("SGR_DATASET_DIR", dir.c_str(), 1);
+  const DatasetSpec spec = DatasetByName("anybeat");
+  DatasetProvenance provenance;
+  const CsrGraph csr = LoadDatasetCsr(spec, 0.0, &provenance);
+  const CsrGraph reference(LoadDataset(spec));
+  unsetenv("SGR_DATASET_DIR");
+  EXPECT_EQ(csr.raw_offsets(), reference.raw_offsets());
+  EXPECT_EQ(csr.raw_neighbors(), reference.raw_neighbors());
+  EXPECT_EQ(provenance.source, "file");
+  EXPECT_EQ(provenance.path, file);
+  EXPECT_EQ(provenance.content_hash.size(), 16u);
+  EXPECT_EQ(provenance.content_hash,
+            HashToHex(HashFileContents(file)));
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -579,6 +579,55 @@ TEST(ScenarioReportTest, EnvironmentCaptureIsPopulated) {
   EXPECT_DOUBLE_EQ(json.Find("threads")->AsNumber(), 3.0);
   EXPECT_NE(json.Find("build"), nullptr);
   EXPECT_NE(json.Find("hardware_concurrency"), nullptr);
+  // No datasets recorded -> no "datasets" key: callers that never load
+  // datasets keep their historical environment layout.
+  EXPECT_EQ(json.Find("datasets"), nullptr);
+}
+
+TEST(ScenarioReportTest, EnvironmentEchoesDatasetProvenance) {
+  RunEnvironment environment = CaptureEnvironment(1);
+  DatasetProvenance file_backed;
+  file_backed.name = "anybeat";
+  file_backed.source = "file";
+  file_backed.path = "/data/anybeat.txt";
+  file_backed.content_hash = "28301d34262df120";
+  file_backed.scale = 1.0;
+  DatasetProvenance generated;
+  generated.name = "gowalla";
+  generated.source = "generator";
+  generated.scale = 0.25;
+  environment.datasets = {file_backed, generated};
+  const Json json = EnvironmentToJson(environment);
+  const Json* datasets = json.Find("datasets");
+  ASSERT_NE(datasets, nullptr);
+  ASSERT_EQ(datasets->Items().size(), 2u);
+  const Json& first = datasets->Items()[0];
+  EXPECT_EQ(first.Find("name")->AsString(), "anybeat");
+  EXPECT_EQ(first.Find("source")->AsString(), "file");
+  EXPECT_EQ(first.Find("path")->AsString(), "/data/anybeat.txt");
+  EXPECT_EQ(first.Find("content_hash")->AsString(), "28301d34262df120");
+  const Json& second = datasets->Items()[1];
+  EXPECT_EQ(second.Find("source")->AsString(), "generator");
+  EXPECT_EQ(second.Find("path"), nullptr);
+  EXPECT_EQ(second.Find("content_hash"), nullptr);
+  EXPECT_DOUBLE_EQ(second.Find("scale")->AsNumber(), 0.25);
+}
+
+TEST(ScenarioReportTest, ProvenanceLivesInVolatileEnvironmentBlock) {
+  // The same spec legitimately runs on real data on one machine and the
+  // synthetic stand-in on another — provenance must not break the
+  // determinism contract, i.e. StripVolatile removes it with the rest of
+  // the environment.
+  RunEnvironment environment = CaptureEnvironment(1);
+  DatasetProvenance p;
+  p.name = "anybeat";
+  p.source = "file";
+  environment.datasets = {p};
+  const Json report =
+      MakeReport("sgr run", Json::Object(), Json::Array(), environment);
+  ASSERT_NE(report.Find("environment")->Find("datasets"), nullptr);
+  const Json stripped = StripVolatile(report);
+  EXPECT_EQ(stripped.Find("environment"), nullptr);
 }
 
 // ---------------------------------------------------------------------------
@@ -623,6 +672,18 @@ TEST(ScenarioEngineTest, RunsTheFullMatrix) {
   }
   EXPECT_DOUBLE_EQ(result.cells[0].query_fraction, 0.1);
   EXPECT_DOUBLE_EQ(result.cells[1].query_fraction, 0.2);
+}
+
+TEST(ScenarioEngineTest, RunRecordsDatasetProvenance) {
+  const ScenarioRunResult result = RunScenario(TinySpec(), 1);
+  ASSERT_EQ(result.datasets.size(), 1u);
+  EXPECT_EQ(result.datasets[0].name, "tiny-powerlaw");
+  EXPECT_EQ(result.datasets[0].source, "generator");
+  const Json report = ScenarioReportToJson(result);
+  const Json* datasets = report.Find("environment")->Find("datasets");
+  ASSERT_NE(datasets, nullptr);
+  ASSERT_EQ(datasets->Items().size(), 1u);
+  EXPECT_EQ(datasets->Items()[0].Find("source")->AsString(), "generator");
 }
 
 TEST(ScenarioEngineTest, ReportJsonHasTheTwelveProperties) {

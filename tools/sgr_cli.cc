@@ -69,6 +69,17 @@
 //       Enumerate the built-in scenarios / print one as a scenario.json
 //       starting point.
 //
+//   sgr datasets list
+//   sgr datasets export youtube --out youtube.txt [--scale 8]
+//   sgr datasets ingest youtube.txt [--threads 4] [--compress on]
+//                [--cache .sgr-cache]
+//       Inspect the dataset registry, write a synthetic stand-in as a
+//       canonical edge list (`# sgr-canonical 1`: dense ids the ingester
+//       reloads verbatim), or run the out-of-core ingester directly and
+//       print its stats — including `csr_hash`, a representation-
+//       independent content hash of the resulting snapshot that CI
+//       compares across thread counts and compression modes.
+//
 //   sgr diff old.json new.json [--l1-tol X] [--time-tol R] [--no-timings]
 //            [--markdown 1]
 //       Compare two sgr-report/1 files: cells are paired by (dataset,
@@ -96,13 +107,16 @@
 #include "analysis/extras.h"
 #include "analysis/l1.h"
 #include "analysis/properties.h"
+#include "exp/datasets.h"
 #include "exp/parallel.h"
 #include "exp/runner.h"
 #include "exp/table_printer.h"
 #include "graph/components.h"
+#include "graph/edge_list_reader.h"
 #include "graph/generators.h"
 #include "graph/io.h"
 #include "obs/metrics.h"
+#include "obs/timer.h"
 #include "obs/trace.h"
 #include "obs/trace_summary.h"
 #include "restore/gjoka.h"
@@ -339,6 +353,15 @@ ScenarioSpec LoadScenarioSpec(const std::string& source) {
 
 /// sgr run <scenario.json | built-in name> [--out FILE] [--threads N]
 int CmdRun(const std::string& source, const Args& args) {
+  // Data-source flags are sugar over their environment twins — the
+  // loaders in exp/datasets.cc read only the environment, so flag and
+  // env behave identically (flag wins when both are given).
+  if (args.Has("dataset-dir")) {
+    setenv("SGR_DATASET_DIR", args.Get("dataset-dir").c_str(), 1);
+  }
+  if (args.Has("snapshot-cache")) {
+    setenv("SGR_SNAPSHOT_CACHE", args.Get("snapshot-cache").c_str(), 1);
+  }
   const ScenarioSpec spec = LoadScenarioSpec(source);
 
   // Thread-count precedence mirrors the bench binaries: the --threads
@@ -527,6 +550,106 @@ int CmdScenarios(int argc, char** argv) {
                            "' (list|show)");
 }
 
+/// sgr datasets list
+/// sgr datasets export NAME --out FILE [--scale S]
+/// sgr datasets ingest FILE [--threads N] [--compress auto|on|off]
+///              [--cache DIR]
+int CmdDatasets(int argc, char** argv) {
+  const std::string verb = argc > 2 ? argv[2] : "list";
+  if (verb == "list") {
+    TablePrinter table(std::cout, {"Dataset", "Synthetic n", "Paper n",
+                                   "Paper m"});
+    std::vector<DatasetSpec> specs = StandardDatasets();
+    specs.push_back(YoutubeDataset());
+    for (const DatasetSpec& spec : specs) {
+      table.AddRow({spec.name, std::to_string(spec.num_nodes),
+                    std::to_string(spec.paper_nodes),
+                    std::to_string(spec.paper_edges)});
+    }
+    table.Print();
+    std::cout << "\nfiles named <dataset>.txt under $SGR_DATASET_DIR (or "
+                 "--dataset-dir) replace the synthetic stand-ins; "
+                 "`sgr datasets export` writes a stand-in as a canonical "
+                 "edge list the ingester reloads id-exactly.\n";
+    return 0;
+  }
+  if (verb == "export") {
+    if (argc < 4) {
+      throw std::runtime_error(
+          "usage: sgr datasets export <name> --out FILE [--scale S]");
+    }
+    const Args args(argc, argv, 4);
+    const DatasetSpec spec = DatasetByName(argv[3]);
+    const double scale = args.GetDouble("scale", 1.0);
+    const auto n = static_cast<std::size_t>(
+        static_cast<double>(spec.num_nodes) * scale);
+    if (scale <= 0.0 || n == 0) {
+      throw std::runtime_error("--scale must be positive (and large "
+                               "enough to keep at least one node)");
+    }
+    Rng rng(spec.seed);
+    const CsrGraph csr(PreprocessDataset(
+        GenerateSocialGraph(n, spec.edges_per_node, spec.triad_probability,
+                            spec.fringe_fraction, rng)));
+    WriteCanonicalEdgeListFile(csr, args.Get("out"));
+    std::cout << "wrote " << args.Get("out") << ": n = " << csr.NumNodes()
+              << ", m = " << csr.NumEdges() << " (canonical)\n";
+    return 0;
+  }
+  if (verb == "ingest") {
+    if (argc < 4) {
+      throw std::runtime_error(
+          "usage: sgr datasets ingest <file> [--threads N] "
+          "[--compress auto|on|off] [--cache DIR]");
+    }
+    const Args args(argc, argv, 4);
+    IngestOptions options;
+    options.threads = static_cast<std::size_t>(args.GetUint("threads", 1));
+    const std::string compress = args.GetOr("compress", "auto");
+    if (compress == "on") {
+      options.compress = IngestOptions::Compress::kOn;
+    } else if (compress == "off") {
+      options.compress = IngestOptions::Compress::kOff;
+    } else if (compress != "auto") {
+      throw std::runtime_error("--compress must be auto|on|off");
+    }
+    options.cache_dir = args.GetOr("cache", "");
+    Timer timer;
+    const IngestResult result = IngestEdgeListFile(argv[3], options);
+    const double seconds = timer.Seconds();
+    const IngestStats& stats = result.stats;
+    std::cout << "file_hash " << HashToHex(result.content_hash) << "\n"
+              << "csr_hash " << HashToHex(CsrContentHash(result.graph))
+              << "\n"
+              << "from_cache " << (result.from_cache ? 1 : 0) << "\n"
+              << "canonical " << (stats.canonical ? 1 : 0) << "\n"
+              << "spilled " << (stats.spilled ? 1 : 0) << "\n"
+              << "bytes " << stats.file_bytes << "\n"
+              << "edge_lines " << stats.edge_lines << "\n"
+              << "raw_nodes " << stats.raw_nodes << "\n"
+              << "self_loops_dropped " << stats.self_loops_dropped << "\n"
+              << "parallel_edges_collapsed "
+              << stats.parallel_edges_collapsed << "\n"
+              << "nodes " << result.graph.NumNodes() << "\n"
+              << "edges " << result.graph.NumEdges() << "\n"
+              << "compressed " << (result.graph.compressed() ? 1 : 0)
+              << "\n"
+              << "neighbor_bytes " << result.graph.NeighborStorageBytes()
+              << "\n"
+              << "seconds " << seconds << "\n";
+    if (seconds > 0.0 && !result.from_cache) {
+      std::cout << "edges_per_second "
+                << static_cast<double>(stats.edge_lines) / seconds << "\n"
+                << "mb_per_second "
+                << static_cast<double>(stats.file_bytes) / 1.0e6 / seconds
+                << "\n";
+    }
+    return 0;
+  }
+  throw std::runtime_error("unknown datasets verb '" + verb +
+                           "' (list|export|ingest)");
+}
+
 void PrintUsage() {
   std::cout <<
       "usage: sgr <command> [--flag value ...]\n"
@@ -553,6 +676,16 @@ void PrintUsage() {
       "            JSON of the whole run)\n"
       "            [--metrics 0|1]   (or SGR_METRICS; per-cell \"metrics\"\n"
       "            block in the report)\n"
+      "            [--dataset-dir DIR]   (or SGR_DATASET_DIR; require\n"
+      "            real edge lists <dataset>.txt — missing file is a hard\n"
+      "            error, never a silent synthetic fallback)\n"
+      "            [--snapshot-cache DIR]   (or SGR_SNAPSHOT_CACHE;\n"
+      "            content-hash-keyed binary CSR cache for ingested\n"
+      "            files)\n"
+      "  datasets  list | export NAME --out FILE [--scale S] |\n"
+      "            ingest FILE [--threads N] [--compress auto|on|off]\n"
+      "            [--cache DIR]   (out-of-core ingest; prints stats and\n"
+      "            the representation-independent csr_hash)\n"
       "  diff      OLD.json NEW.json [--l1-tol X] [--time-tol R]\n"
       "            [--no-timings 1] [--markdown 1]   (exit 1 on\n"
       "            regression)\n"
@@ -590,6 +723,7 @@ int main(int argc, char** argv) {
       return CmdDiff(argv[2], argv[3], Args(argc, argv, 4));
     }
     if (command == "scenarios") return CmdScenarios(argc, argv);
+    if (command == "datasets") return CmdDatasets(argc, argv);
     if (command == "trace") return CmdTrace(argc, argv);
     if (command == "check") return CmdCheck(argc, argv);
     Args args(argc, argv, 2);
